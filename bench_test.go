@@ -1,0 +1,542 @@
+package multitree_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus the design-choice ablations called out in DESIGN.md.
+// Each benchmark regenerates its experiment's data points and reports the
+// headline quantity (bandwidth in GB/s, normalized time, etc.) through
+// b.ReportMetric, so `go test -bench=.` prints the same series the paper
+// plots. The cmd/allreduce-bench and cmd/train-sim tools print the full
+// CSVs using the same internal/experiments code paths.
+//
+// Benchmark sizes default to the bandwidth-saturating 1 MiB point of each
+// sweep so the suite completes in minutes; the full 32 KiB - 64 MiB sweeps
+// are one flag away via the CLI tools (see EXPERIMENTS.md).
+
+import (
+	"fmt"
+	"testing"
+
+	"multitree/internal/accel"
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/experiments"
+	"multitree/internal/model"
+	"multitree/internal/network"
+	"multitree/internal/topology"
+	"multitree/internal/topospec"
+	"multitree/internal/training"
+)
+
+// benchAllReduce measures one (topology, algorithm, size) point and
+// reports the achieved bandwidth.
+func benchAllReduce(b *testing.B, spec string, dataBytes int64, engine experiments.Engine) {
+	topo, err := topospec.Parse(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range experiments.Algorithms(topo) {
+		b.Run(fmt.Sprintf("%s/%s", spec, alg.Name), func(b *testing.B) {
+			var p experiments.AllReducePoint
+			for i := 0; i < b.N; i++ {
+				p, err = experiments.MeasureAllReduce(topo, alg, dataBytes, engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(p.BandwidthGBps, "GB/s")
+			b.ReportMetric(float64(p.Cycles), "cycles")
+		})
+	}
+}
+
+// BenchmarkFig9a_Torus regenerates the Torus bandwidth comparison
+// (Fig. 9a) at the 1 MiB point with the packet-level reference engine.
+func BenchmarkFig9a_Torus(b *testing.B) {
+	benchAllReduce(b, "torus-4x4", 1<<20, experiments.Packet)
+	benchAllReduce(b, "torus-8x8", 1<<20, experiments.Packet)
+}
+
+// BenchmarkFig9b_Mesh regenerates the Mesh comparison (Fig. 9b).
+func BenchmarkFig9b_Mesh(b *testing.B) {
+	benchAllReduce(b, "mesh-4x4", 1<<20, experiments.Packet)
+	benchAllReduce(b, "mesh-8x8", 1<<20, experiments.Packet)
+}
+
+// BenchmarkFig9c_FatTree regenerates the Fat-Tree comparison (Fig. 9c).
+func BenchmarkFig9c_FatTree(b *testing.B) {
+	benchAllReduce(b, "fattree-16", 1<<20, experiments.Packet)
+	benchAllReduce(b, "fattree-64", 1<<20, experiments.Packet)
+}
+
+// BenchmarkFig9d_BiGraph regenerates the BiGraph comparison (Fig. 9d),
+// including the EFLOPS HDRM baseline.
+func BenchmarkFig9d_BiGraph(b *testing.B) {
+	benchAllReduce(b, "bigraph-32", 1<<20, experiments.Packet)
+	benchAllReduce(b, "bigraph-64", 1<<20, experiments.Packet)
+}
+
+// BenchmarkFig10_Scalability regenerates the weak-scaling study: 375*N KiB
+// all-reduce on N-node Tori, N = 16..256, Ring vs 2D-Ring vs
+// MULTITREE-MSG, reporting times normalized to 16-node Ring (Fig. 10's
+// y-axis).
+func BenchmarkFig10_Scalability(b *testing.B) {
+	var points []experiments.Fig10Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.Fig10(topospec.TorusFor, []int{16, 32, 64, 128, 256})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.Normalized, fmt.Sprintf("norm-%s-%dn", p.Algorithm, p.Nodes))
+	}
+}
+
+// BenchmarkFig11a_TrainingNonOverlapped regenerates the non-overlapped
+// training-time breakdown on an 8x8 Torus (Fig. 11a), reporting each
+// model's all-reduce speedup of MULTITREE-MSG over Ring.
+func BenchmarkFig11a_TrainingNonOverlapped(b *testing.B) {
+	benchFig11(b, false)
+}
+
+// BenchmarkFig11b_TrainingOverlapped regenerates the layer-wise
+// overlapped breakdown (Fig. 11b).
+func BenchmarkFig11b_TrainingOverlapped(b *testing.B) {
+	benchFig11(b, true)
+}
+
+func benchFig11(b *testing.B, overlapped bool) {
+	topo, err := topospec.Parse("torus-8x8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rows []experiments.Fig11Row
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Fig11(topo, overlapped)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Algorithm == "multitree-msg" {
+			b.ReportMetric(r.AllReduceSpeedup, "ARspeedup-"+r.Model)
+			b.ReportMetric(r.NormalizedTotal, "normTotal-"+r.Model)
+		}
+	}
+}
+
+// BenchmarkTable1_AlgorithmComparison regenerates the measured Table I:
+// steps, bandwidth overhead and contention of every algorithm on every
+// topology class.
+func BenchmarkTable1_AlgorithmComparison(b *testing.B) {
+	var topos []*topology.Topology
+	for _, spec := range []string{"torus-8x8", "mesh-8x8", "fattree-16", "bigraph-32"} {
+		t, err := topospec.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		topos = append(topos, t)
+	}
+	var rows []experiments.Table1Row
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.Table1(topos, 1<<18)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Topology == "torus-8x8" {
+			b.ReportMetric(float64(r.Steps), "steps-"+r.Algorithm)
+			b.ReportMetric(r.BandwidthOverhead, "bwOverhead-"+r.Algorithm)
+		}
+	}
+}
+
+// BenchmarkFig2_HeadFlitOverhead regenerates the packet head-flit
+// bandwidth overhead curve (6%-25% for 256 B down to 64 B payloads).
+func BenchmarkFig2_HeadFlitOverhead(b *testing.B) {
+	var pts []experiments.Fig2Point
+	for i := 0; i < b.N; i++ {
+		pts = experiments.Fig2()
+	}
+	for _, p := range pts {
+		if p.PayloadBytes == 64 || p.PayloadBytes == 256 {
+			b.ReportMetric(p.Overhead, fmt.Sprintf("overhead-%dB", p.PayloadBytes))
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §4) ---
+
+// BenchmarkAblation_Lockstep compares MultiTree on BiGraph with the NI
+// lockstep + step-priority scheduling of §IV-A enabled and disabled; the
+// co-design is what keeps the per-step allocation contention-free in
+// time, not just in space.
+func BenchmarkAblation_Lockstep(b *testing.B) {
+	topo, err := topospec.Parse("bigraph-32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Build(topo, (4<<20)/4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, lockstep := range []bool{true, false} {
+		b.Run(fmt.Sprintf("lockstep=%v", lockstep), func(b *testing.B) {
+			cfg := network.DefaultConfig()
+			cfg.Lockstep = lockstep
+			cfg.StepPriority = lockstep
+			var res *network.Result
+			for i := 0; i < b.N; i++ {
+				res, err = network.SimulateFluid(s, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BandwidthBytesPerCycle(4<<20), "GB/s")
+		})
+	}
+}
+
+// BenchmarkAblation_TreeOrder compares the round-robin-by-root turn order
+// against remaining-height prioritization on an asymmetric Mesh
+// (§III-C1's note on asymmetric networks).
+func BenchmarkAblation_TreeOrder(b *testing.B) {
+	topo := topology.Mesh(4, 8, topology.DefaultLinkConfig())
+	for _, order := range []core.TreeOrder{core.RoundRobinByRoot, core.ByRemainingHeight} {
+		name := "roundRobin"
+		if order == core.ByRemainingHeight {
+			name = "remainingHeight"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s *collective.Schedule
+			var err error
+			for i := 0; i < b.N; i++ {
+				s, err = core.Build(topo, (1<<20)/4, core.Options{Order: order})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			res, err := network.SimulateFluid(s, network.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.Steps), "steps")
+			b.ReportMetric(res.BandwidthBytesPerCycle(1<<20), "GB/s")
+		})
+	}
+}
+
+// BenchmarkAblation_DimOrder compares Y-before-X link allocation (the
+// paper's preference) against X-before-Y on a Torus.
+func BenchmarkAblation_DimOrder(b *testing.B) {
+	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
+	for _, reverse := range []bool{false, true} {
+		name := "Yfirst"
+		if reverse {
+			name = "Xfirst"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s *collective.Schedule
+			var err error
+			for i := 0; i < b.N; i++ {
+				s, err = core.Build(topo, (1<<20)/4, core.Options{ReverseNeighborOrder: reverse})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			res, err := network.SimulateFluid(s, network.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.Steps), "steps")
+			b.ReportMetric(res.BandwidthBytesPerCycle(1<<20), "GB/s")
+		})
+	}
+}
+
+// BenchmarkAblation_PayloadSize sweeps the baseline packet payload across
+// Fig. 2's 64-256 B range end to end, against the message-based flow
+// control.
+func BenchmarkAblation_PayloadSize(b *testing.B) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, (4<<20)/4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, payload := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("packet-%dB", payload), func(b *testing.B) {
+			cfg := network.DefaultConfig()
+			cfg.PayloadBytes = payload
+			var res *network.Result
+			for i := 0; i < b.N; i++ {
+				res, err = network.SimulateFluid(s, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BandwidthBytesPerCycle(4<<20), "GB/s")
+		})
+	}
+	b.Run("message-based", func(b *testing.B) {
+		var res *network.Result
+		for i := 0; i < b.N; i++ {
+			res, err = network.SimulateFluid(s, network.MessageConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.BandwidthBytesPerCycle(4<<20), "GB/s")
+	})
+}
+
+// BenchmarkAblation_EngineFidelity runs the same schedule through the
+// fluid and packet engines; their agreement on contention-free schedules
+// is the basis for using the fluid engine in the large sweeps.
+func BenchmarkAblation_EngineFidelity(b *testing.B) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, (1<<20)/4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, engine := range []experiments.Engine{experiments.Fluid, experiments.Packet} {
+		b.Run(engine.String(), func(b *testing.B) {
+			cfg := network.DefaultConfig()
+			var cycles float64
+			for i := 0; i < b.N; i++ {
+				var res *network.Result
+				if engine == experiments.Packet {
+					res, err = network.SimulatePackets(s, cfg)
+				} else {
+					res, err = network.SimulateFluid(s, cfg)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = float64(res.Cycles)
+			}
+			b.ReportMetric(cycles, "simCycles")
+		})
+	}
+}
+
+// BenchmarkMultiTreeConstruction measures Algorithm 1 itself across
+// system scales (its complexity bound is O(|V|^2 |E|), §III-C2).
+func BenchmarkMultiTreeConstruction(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		topo, err := topospec.TorusFor(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("torus-%dn", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildTrees(topo, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleExecution measures the correctness interpreter, the
+// hot path of the property-based tests.
+func BenchmarkScheduleExecution(b *testing.B) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, 1<<14, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := collective.RampInputs(topo.Nodes(), s.Elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := collective.Execute(s, in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollective_AllToAll measures the DLRM-style all-to-all of
+// §VII-B built on the all-gather trees.
+func BenchmarkCollective_AllToAll(b *testing.B) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.BuildAllToAll(topo, (1<<20)/4/16, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *network.Result
+	for i := 0; i < b.N; i++ {
+		res, err = network.SimulateFluid(s, network.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Cycles), "cycles")
+}
+
+// BenchmarkAblation_Energy prices the flow-control co-design: the same
+// MultiTree schedule under packet-based vs message-based flow control.
+func BenchmarkAblation_Energy(b *testing.B) {
+	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, (16<<20)/4, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := network.DefaultEnergyModel()
+	for _, cfg := range []network.Config{network.DefaultConfig(), network.MessageConfig()} {
+		name := "packet-based"
+		if cfg.MessageBased {
+			name = "message-based"
+		}
+		b.Run(name, func(b *testing.B) {
+			var e network.EnergyBreakdown
+			for i := 0; i < b.N; i++ {
+				e, err = network.EstimateEnergy(s, cfg, m)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(e.TotalUJ(), "uJ")
+			b.ReportMetric(float64(e.Packets), "arbEvents")
+		})
+	}
+}
+
+// BenchmarkAblation_NCCLThreshold compares MultiTree against an oracle
+// that always picks the better of Ring and DBTree per message size — the
+// size-threshold switching NCCL uses (footnote 1 of the paper). MultiTree
+// beats the oracle at every size because it is simultaneously low-latency
+// and bandwidth-optimal.
+func BenchmarkAblation_NCCLThreshold(b *testing.B) {
+	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
+	for _, bytes := range []int64{32 << 10, 1 << 20, 16 << 20} {
+		b.Run(fmt.Sprintf("%dKiB", bytes>>10), func(b *testing.B) {
+			var oracle, mtree float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.MeasureAllReduce(topo, experiments.AlgSpec{Name: "ring"}, bytes, experiments.Fluid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d, err := experiments.MeasureAllReduce(topo, experiments.AlgSpec{Name: "dbtree"}, bytes, experiments.Fluid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m, err := experiments.MeasureAllReduce(topo, experiments.AlgSpec{Name: "multitree"}, bytes, experiments.Fluid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				oracle = float64(r.Cycles)
+				if float64(d.Cycles) < oracle {
+					oracle = float64(d.Cycles)
+				}
+				mtree = float64(m.Cycles)
+			}
+			b.ReportMetric(oracle/mtree, "speedupVsOracle")
+		})
+	}
+}
+
+// BenchmarkStrongScaling reproduces the §VI-B side note: with a fixed
+// large problem, communication time shows "only small variation" as the
+// torus grows, because every algorithm stays contention-free and
+// serialization dominates.
+func BenchmarkStrongScaling(b *testing.B) {
+	var points []experiments.Fig10Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		points, err = experiments.StrongScaling(topospec.TorusFor, []int{16, 64, 256}, 32<<20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, p := range points {
+		b.ReportMetric(p.Normalized, fmt.Sprintf("rel-%s-%dn", p.Algorithm, p.Nodes))
+	}
+}
+
+// BenchmarkAblation_Dataflow compares the three systolic mappings on
+// ResNet50's forward pass (the paper fixes output stationary; this shows
+// the choice's cost).
+func BenchmarkAblation_Dataflow(b *testing.B) {
+	net, err := model.ByName("ResNet50")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, d := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary, accel.InputStationary} {
+		b.Run(d.String(), func(b *testing.B) {
+			a := accel.Default()
+			a.Dataflow = d
+			var cyc int64
+			for i := 0; i < b.N; i++ {
+				cyc = a.NetworkForwardCycles(net, 16)
+			}
+			b.ReportMetric(float64(cyc), "fwdCycles")
+		})
+	}
+}
+
+// BenchmarkAblation_GradientFusion sweeps the Horovod-style fusion
+// threshold extension over the overlapped Transformer iteration.
+func BenchmarkAblation_GradientFusion(b *testing.B) {
+	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
+	for _, fusion := range []int64{0, 1 << 20, 16 << 20} {
+		b.Run(fmt.Sprintf("fusion-%dMiB", fusion>>20), func(b *testing.B) {
+			cfg := training.Config{
+				Topo:         topo,
+				Accel:        accel.Default(),
+				BatchPerNode: 16,
+				Net:          network.MessageConfig(),
+				FusionBytes:  fusion,
+				Build: func(tp *topology.Topology, elems int) (*collective.Schedule, error) {
+					return experiments.BuildSchedule(tp, "multitree", elems)
+				},
+			}
+			net, err := model.ByName("Transformer")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var res training.Breakdown
+			for i := 0; i < b.N; i++ {
+				res, err = cfg.Overlapped(net)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Total)/1e6, "ms-total")
+		})
+	}
+}
+
+// BenchmarkAblation_TreeAdjustment measures the §IV-A-footnote
+// tree-adjustment direction on BiGraph: the paper's literal
+// first-parent-in-addition-order allocation versus shortest-free-path
+// allocation (the default on switch-based networks), which reaches the
+// per-phase step lower bound.
+func BenchmarkAblation_TreeAdjustment(b *testing.B) {
+	topo, err := topospec.Parse("bigraph-32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shortest := range []bool{false, true} {
+		name := "firstParent"
+		if shortest {
+			name = "shortestPath"
+		}
+		b.Run(name, func(b *testing.B) {
+			var s *collective.Schedule
+			for i := 0; i < b.N; i++ {
+				s, err = core.Build(topo, (4<<20)/4, core.Options{ShortestPathFirst: shortest})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			res, err := network.SimulateFluid(s, network.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(s.Steps), "steps")
+			b.ReportMetric(res.BandwidthBytesPerCycle(4<<20), "GB/s")
+		})
+	}
+}

@@ -1,0 +1,158 @@
+// Command allreduce-bench regenerates the all-reduce evaluation data of
+// the paper: the bandwidth sweeps of Fig. 9 (per-topology CSV), the
+// weak-scaling study of Fig. 10, the algorithm comparison of Table I, and
+// the head-flit overhead curve of Fig. 2.
+//
+// Usage:
+//
+//	allreduce-bench -fig 9a            # 4x4 and 8x8 Torus sweep
+//	allreduce-bench -fig 9b            # 4x4 and 8x8 Mesh
+//	allreduce-bench -fig 9c            # 16- and 64-node Fat-Tree
+//	allreduce-bench -fig 9d            # 32- and 64-node BiGraph
+//	allreduce-bench -fig 10            # weak scaling 16..256 nodes
+//	allreduce-bench -fig 2             # head-flit overhead
+//	allreduce-bench -table1            # measured Table I
+//	allreduce-bench -fig 9a -max 64MiB # full-size sweep (slower)
+//	allreduce-bench -fig 9a -engine fluid
+//
+// Output is CSV on stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"multitree/internal/experiments"
+	"multitree/internal/topology"
+	"multitree/internal/topospec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("allreduce-bench: ")
+	var (
+		fig      = flag.String("fig", "", "figure to regenerate: 2, 9a, 9b, 9c, 9d, 10")
+		table1   = flag.Bool("table1", false, "emit the measured Table I comparison")
+		maxSz    = flag.String("max", "8MiB", "largest all-reduce size for Fig. 9 (the paper uses 64MiB)")
+		engine   = flag.String("engine", "", "simulation engine: packet (default for Fig. 9) or fluid")
+		topos    = flag.String("topos", "", "comma-separated topology overrides, e.g. torus-4x4,mesh-8x8")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations for Fig. 9 sweeps")
+	)
+	flag.Parse()
+
+	switch {
+	case *table1:
+		runTable1(*topos)
+	case *fig == "2":
+		fmt.Println("payload_bytes,head_flit_overhead")
+		for _, p := range experiments.Fig2() {
+			fmt.Printf("%d,%.4f\n", p.PayloadBytes, p.Overhead)
+		}
+	case strings.HasPrefix(*fig, "9"):
+		runFig9(*fig, *topos, *maxSz, *engine, *parallel)
+	case *fig == "10":
+		runFig10()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFig9(fig, topoOverride, maxSz, engineName string, parallel int) {
+	specs := map[string][]string{
+		"9a": {"torus-4x4", "torus-8x8"},
+		"9b": {"mesh-4x4", "mesh-8x8"},
+		"9c": {"fattree-16", "fattree-64"},
+		"9d": {"bigraph-32", "bigraph-64"},
+	}[fig]
+	if specs == nil {
+		log.Fatalf("unknown figure %q", fig)
+	}
+	if topoOverride != "" {
+		specs = strings.Split(topoOverride, ",")
+	}
+	maxBytes, err := parseSize(maxSz)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The packet engine is the reference for Fig. 9: it captures the
+	// congestion trees that make DBTree and Mesh 2D-Ring collapse at
+	// large sizes (§VI-A); the fluid engine is faster but optimistic for
+	// those two cases.
+	engine := experiments.Packet
+	if engineName == "fluid" {
+		engine = experiments.Fluid
+	}
+	fmt.Println("topology,algorithm,data_bytes,cycles,bandwidth_gbps")
+	for _, spec := range specs {
+		topo, err := topospec.Parse(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		points, err := experiments.Fig9Parallel(topo, experiments.Fig9Sizes(maxBytes), engine, parallel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range points {
+			fmt.Printf("%s,%s,%d,%d,%.3f\n", p.Topology, p.Algorithm, p.DataBytes, p.Cycles, p.BandwidthGBps)
+		}
+	}
+}
+
+func runFig10() {
+	points, err := experiments.Fig10(topospec.TorusFor, []int{16, 32, 64, 128, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes,algorithm,data_bytes,cycles,normalized_to_ring16")
+	for _, p := range points {
+		fmt.Printf("%d,%s,%d,%d,%.3f\n", p.Nodes, p.Algorithm, p.DataBytes, p.Cycles, p.Normalized)
+	}
+}
+
+func runTable1(topoOverride string) {
+	specs := []string{"torus-8x8", "mesh-8x8", "fattree-16", "bigraph-32"}
+	if topoOverride != "" {
+		specs = strings.Split(topoOverride, ",")
+	}
+	var topos []*topology.Topology
+	for _, s := range specs {
+		t, err := topospec.Parse(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topos = append(topos, t)
+	}
+	rows, err := experiments.Table1(topos, 1<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("algorithm,topology,steps,bandwidth_overhead,max_link_overlap,max_hops,contention_free")
+	for _, r := range rows {
+		fmt.Printf("%s,%s,%d,%.2f,%d,%d,%v\n",
+			r.Algorithm, r.Topology, r.Steps, r.BandwidthOverhead, r.MaxLinkOverlap, r.MaxHops,
+			r.MaxLinkOverlap <= 1)
+	}
+}
+
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

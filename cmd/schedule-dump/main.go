@@ -1,0 +1,133 @@
+// Command schedule-dump renders the worked examples of the paper's §III
+// and §IV: the MultiTree construction walkthrough of Fig. 3 (per-step link
+// allocation and the resulting reduce-scatter/all-gather trees), the ring
+// and double-binary-tree schedules of Fig. 4, and the per-accelerator NI
+// schedule tables of Fig. 5.
+//
+// Usage:
+//
+//	schedule-dump                    # Fig. 3 walkthrough on the 2x2 Mesh
+//	schedule-dump -topo torus-4x4    # any topology
+//	schedule-dump -tables            # include the Fig. 5 NI tables
+//	schedule-dump -baselines         # include the Fig. 4 ring/dbtree views
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/dbtree"
+	"multitree/internal/ni"
+	"multitree/internal/ring"
+	"multitree/internal/topospec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("schedule-dump: ")
+	var (
+		topoStr   = flag.String("topo", "mesh-2x2", "topology spec")
+		tables    = flag.Bool("tables", false, "print the Fig. 5 NI schedule tables")
+		baselines = flag.Bool("baselines", false, "print the Fig. 4 ring and double-binary-tree schedules")
+		util      = flag.Bool("util", false, "print per-step link-utilization charts for every algorithm")
+	)
+	flag.Parse()
+
+	topo, err := topospec.Parse(*topoStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("MultiTree construction on %s (%d nodes)\n", topo.Name(), topo.Nodes())
+	fmt.Println("\nAll-gather schedule trees (Fig. 3e; edge label tN is the time step):")
+	for _, tr := range trees {
+		fmt.Println("  " + tr.String())
+	}
+
+	sched, err := collective.TreesToSchedule(core.Algorithm, topo, topo.Nodes()*4, trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReduce-scatter schedule (Fig. 3d; reversed tree edges):")
+	printPhase(sched, collective.Reduce)
+	fmt.Println("\nAll-gather schedule:")
+	printPhase(sched, collective.Gather)
+
+	if *baselines {
+		fmt.Println("\nRing all-gather phase (Fig. 4a):")
+		printPhase(ring.Build(topo, topo.Nodes()*4), collective.Gather)
+		ds, err := dbtree.Build(topo, topo.Nodes()*4, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("\nDouble-binary-tree broadcast (Fig. 4b; odd steps are tree 0, even steps tree 1):")
+		printPhase(ds, collective.Gather)
+	}
+
+	if *util {
+		fmt.Println()
+		for _, alg := range []string{"ring", "multitree"} {
+			var us *collective.Schedule
+			if alg == "ring" {
+				us = ring.Build(topo, topo.Nodes()*64)
+			} else {
+				us, err = collective.TreesToSchedule(core.Algorithm, topo, topo.Nodes()*64, trees)
+				if err != nil {
+					log.Fatal(err)
+				}
+			}
+			fmt.Println(collective.UtilizationChart(us, 50))
+		}
+	}
+
+	if *tables {
+		nt, err := ni.Compile(trees, topo.Nodes())
+		if err != nil {
+			log.Fatal(err)
+		}
+		nt.Bind(topo.Nodes()*64, topo.Nodes())
+		fmt.Println("\nAll-reduce schedule tables (Fig. 5):")
+		for _, tab := range nt.PerNode {
+			fmt.Println(tab.String())
+		}
+		fmt.Printf("hardware overhead: %d bits/entry, %d entries, %d bytes/table\n",
+			ni.EntryBits(topo.Nodes()), 2*topo.Nodes(), ni.TableBytes(topo.Nodes()))
+	}
+}
+
+// printPhase lists a schedule's transfers of one opcode grouped by step.
+func printPhase(s *collective.Schedule, op collective.Op) {
+	lines := map[int][]string{}
+	minStep, maxStep := 1<<30, 0
+	for i := range s.Transfers {
+		tr := &s.Transfers[i]
+		if tr.Op != op {
+			continue
+		}
+		lines[tr.Step] = append(lines[tr.Step],
+			fmt.Sprintf("n%d->n%d(f%d)", tr.Src, tr.Dst, tr.Flow))
+		if tr.Step < minStep {
+			minStep = tr.Step
+		}
+		if tr.Step > maxStep {
+			maxStep = tr.Step
+		}
+	}
+	for step := minStep; step <= maxStep; step++ {
+		if len(lines[step]) == 0 {
+			continue
+		}
+		fmt.Printf("  step %d:", step)
+		for _, l := range lines[step] {
+			fmt.Printf(" %s", l)
+		}
+		fmt.Println()
+	}
+}

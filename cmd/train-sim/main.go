@@ -1,0 +1,113 @@
+// Command train-sim regenerates the DNN training evaluation of Fig. 11:
+// one data-parallel training iteration of each workload on an 8x8 Torus
+// (by default), for every all-reduce algorithm, in the non-overlapped
+// (Fig. 11a) and layer-wise overlapped (Fig. 11b) modes.
+//
+// Usage:
+//
+//	train-sim                  # Fig. 11a table
+//	train-sim -overlap         # Fig. 11b table
+//	train-sim -topo torus-4x4  # different system
+//	train-sim -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"multitree/internal/accel"
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/experiments"
+	"multitree/internal/model"
+	"multitree/internal/network"
+	"multitree/internal/topology"
+	"multitree/internal/topospec"
+	"multitree/internal/training"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("train-sim: ")
+	var (
+		overlap = flag.Bool("overlap", false, "layer-wise all-reduce overlapped with back-propagation (Fig. 11b)")
+		topoStr = flag.String("topo", "torus-8x8", "topology spec")
+		csv     = flag.Bool("csv", false, "CSV output instead of a table")
+		layers  = flag.String("layers", "", "print the per-layer profile of one model (e.g. -layers ResNet50)")
+	)
+	flag.Parse()
+
+	topo, err := topospec.Parse(*topoStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *layers != "" {
+		printLayerProfile(topo, *layers)
+		return
+	}
+	rows, err := experiments.Fig11(topo, *overlap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Println("model,algorithm,compute_cycles,comm_cycles,exposed_cycles,overlap_cycles,total_cycles,normalized_total,allreduce_speedup_vs_ring")
+		for _, r := range rows {
+			fmt.Printf("%s,%s,%d,%d,%d,%d,%d,%.3f,%.2f\n",
+				r.Model, r.Algorithm, r.Compute, r.Comm, r.Exposed, r.Overlap, r.Total,
+				r.NormalizedTotal, r.AllReduceSpeedup)
+		}
+		return
+	}
+	mode := "non-overlapped (Fig. 11a)"
+	if *overlap {
+		mode = "overlapped, layer-wise all-reduce (Fig. 11b)"
+	}
+	fmt.Printf("Training-time breakdown on %s, batch 16/node, %s\n\n", topo.Name(), mode)
+	last := ""
+	for _, r := range rows {
+		if r.Model != last {
+			fmt.Printf("%s\n", r.Model)
+			last = r.Model
+		}
+		fmt.Printf("  %-13s compute %8.2f ms   comm %8.2f ms (exposed %8.2f)   total %8.2f ms   norm %5.2f   AR speedup %4.2fx\n",
+			r.Algorithm,
+			float64(r.Compute)/1e6, float64(r.Comm)/1e6, float64(r.Exposed)/1e6,
+			float64(r.Total)/1e6, r.NormalizedTotal, r.AllReduceSpeedup)
+	}
+}
+
+// printLayerProfile dumps the per-layer compute/gradient/all-reduce
+// breakdown of one model under MultiTree with message-based flow control
+// — the raw material of the Fig. 11b overlap analysis.
+func printLayerProfile(topo *topology.Topology, name string) {
+	net, err := model.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := training.Config{
+		Topo:         topo,
+		Accel:        accel.Default(),
+		BatchPerNode: 16,
+		Net:          network.MessageConfig(),
+		Build: func(tp *topology.Topology, elems int) (*collective.Schedule, error) {
+			return collective.TreesToSchedule(core.Algorithm, tp, elems, trees)
+		},
+	}
+	rows, err := cfg.Profile(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s: per-layer profile (multitree-msg, batch 16/node)\n\n", net.Name, topo.Name())
+	fmt.Printf("%-16s %-10s %12s %12s %12s %12s %12s\n",
+		"layer", "kind", "params", "grad B", "fwd cyc", "bwd cyc", "allreduce")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-10s %12d %12d %12d %12d %12d\n",
+			r.Name, r.Kind, r.Params, r.GradientBytes,
+			r.ForwardCycles, r.BackwardCycles, r.AllReduceCycles)
+	}
+}

@@ -1,0 +1,86 @@
+package multitree
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/topology"
+)
+
+// The broader collectives of §VII-B, built on the MultiTree schedule
+// trees: standalone reduce-scatter and all-gather for hybrid-parallel
+// training, and the all-to-all personalized exchange used by
+// embedding-heavy workloads such as DLRM.
+
+// BuildReduceScatter constructs a MultiTree reduce-scatter of dataBytes:
+// after execution node i holds the fully reduced i-th segment.
+func BuildReduceScatter(t *Topology, dataBytes int64) (*Schedule, error) {
+	elems, err := elemsOf(dataBytes)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.BuildReduceScatter(t.t, elems, core.DefaultOptions(t.t))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// BuildAllGather constructs a MultiTree all-gather of dataBytes: node i
+// starts owning the i-th segment and every node ends with all segments.
+func BuildAllGather(t *Topology, dataBytes int64) (*Schedule, error) {
+	elems, err := elemsOf(dataBytes)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.BuildAllGather(t.t, elems, core.DefaultOptions(t.t))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// BuildAllToAll constructs a MultiTree all-to-all in which every node
+// sends a personalized message of perMessageBytes to every other node,
+// routed along the schedule trees.
+func BuildAllToAll(t *Topology, perMessageBytes int64) (*Schedule, error) {
+	elems, err := elemsOf(perMessageBytes)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.BuildAllToAll(t.t, elems, core.DefaultOptions(t.t))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// BuildSubsetAllReduce constructs a MultiTree all-reduce over a subset of
+// the topology's nodes — the hybrid-parallel case of §VII-B where only
+// the data-parallel replicas exchange gradients. Non-member nodes are
+// bystanders: in direct networks their routers may forward member
+// traffic, but their buffers are untouched.
+func BuildSubsetAllReduce(t *Topology, members []int, dataBytes int64) (*Schedule, error) {
+	elems, err := elemsOf(dataBytes)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]topology.NodeID, len(members))
+	for i, m := range members {
+		ids[i] = topology.NodeID(m)
+	}
+	s, err := core.BuildSubset(t.t, ids, elems, core.DefaultOptions(t.t))
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+func elemsOf(dataBytes int64) (int, error) {
+	elems := int(dataBytes / collective.WordSize)
+	if elems < 1 {
+		return 0, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
+	}
+	return elems, nil
+}

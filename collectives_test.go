@@ -1,0 +1,118 @@
+package multitree_test
+
+import (
+	"testing"
+
+	multitree "multitree"
+)
+
+func TestPublicReduceScatterAllGather(t *testing.T) {
+	topo := multitree.NewTorus(4, 4)
+	rs, err := multitree.BuildReduceScatter(topo, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := multitree.BuildAllGather(topo, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := multitree.BuildSchedule(topo, multitree.MultiTree, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Transfers()+ag.Transfers() != ar.Transfers() {
+		t.Errorf("rs (%d) + ag (%d) transfers != all-reduce (%d)",
+			rs.Transfers(), ag.Transfers(), ar.Transfers())
+	}
+	for name, s := range map[string]*multitree.Schedule{"rs": rs, "ag": ag} {
+		if !s.ContentionFree() {
+			t.Errorf("%s contends", name)
+		}
+		res, err := s.Simulate(multitree.SimOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s took zero cycles", name)
+		}
+	}
+	// Each phase moves half the all-reduce traffic, so it finishes faster.
+	rsRes, _ := rs.Simulate(multitree.SimOptions{})
+	arRes, _ := ar.Simulate(multitree.SimOptions{})
+	if rsRes.Cycles >= arRes.Cycles {
+		t.Errorf("reduce-scatter (%d cycles) not faster than all-reduce (%d)", rsRes.Cycles, arRes.Cycles)
+	}
+}
+
+func TestPublicAllToAll(t *testing.T) {
+	topo := multitree.NewFatTree(4, 4, 4)
+	s, err := multitree.BuildAllToAll(topo, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Simulate(multitree.SimOptions{MessageBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-to-all moves N*(N-1) personalized messages; each crosses at
+	// least one tree edge, and forwarded messages cross several.
+	n := int64(topo.Nodes())
+	if res.PayloadBytes < n*(n-1)*(64<<10) {
+		t.Errorf("payload %d bytes, want >= %d", res.PayloadBytes, n*(n-1)*(64<<10))
+	}
+}
+
+func TestCollectivesRejectTinySizes(t *testing.T) {
+	topo := multitree.NewTorus(4, 4)
+	if _, err := multitree.BuildAllToAll(topo, 2); err == nil {
+		t.Error("sub-element message accepted")
+	}
+	if _, err := multitree.BuildReduceScatter(topo, 0); err == nil {
+		t.Error("zero-size reduce-scatter accepted")
+	}
+}
+
+func TestPublicSubsetAllReduce(t *testing.T) {
+	topo := multitree.NewTorus(4, 4)
+	s, err := multitree.BuildSubsetAllReduce(topo, []int{0, 2, 8, 10}, 128<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ContentionFree() {
+		t.Error("subset schedule contends")
+	}
+	res, err := s.Simulate(multitree.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("subset all-reduce took zero cycles")
+	}
+	if _, err := multitree.BuildSubsetAllReduce(topo, []int{5}, 1024); err == nil {
+		t.Error("single-member subset accepted")
+	}
+}
+
+func TestPublicEnergyEstimate(t *testing.T) {
+	topo := multitree.NewTorus(4, 4)
+	s, err := multitree.BuildSchedule(topo, multitree.MultiTree, 4<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, err := s.EstimateEnergy(multitree.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := s.EstimateEnergy(multitree.SimOptions{MessageBased: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.TotalMicrojoules >= pkt.TotalMicrojoules {
+		t.Errorf("message-based energy %.1f uJ not below packet-based %.1f uJ",
+			msg.TotalMicrojoules, pkt.TotalMicrojoules)
+	}
+	if msg.PacketEvents >= pkt.PacketEvents/10 {
+		t.Errorf("arbitration events %d vs %d: expected order-of-magnitude cut",
+			msg.PacketEvents, pkt.PacketEvents)
+	}
+}

@@ -1,0 +1,34 @@
+package multitree
+
+import "multitree/internal/network"
+
+// Energy reports the estimated interconnect energy of one collective
+// (§IV-B's efficiency argument, quantified with an event-count model:
+// flit-hops, buffer accesses, and per-packet routing/arbitration).
+type Energy struct {
+	FlitHops         int64
+	PacketEvents     int64
+	LinkPJ           float64
+	BufferPJ         float64
+	RouteArbitratePJ float64
+	TotalMicrojoules float64
+}
+
+// EstimateEnergy prices the schedule's on-wire events under the selected
+// flow control. Message-based flow control lowers both the flit count
+// (one head flit per gradient message) and the routing/arbitration events
+// (sub-packets follow the established path).
+func (s *Schedule) EstimateEnergy(opt SimOptions) (Energy, error) {
+	e, err := network.EstimateEnergy(s.s, opt.internal(), network.DefaultEnergyModel())
+	if err != nil {
+		return Energy{}, err
+	}
+	return Energy{
+		FlitHops:         e.Flits,
+		PacketEvents:     e.Packets,
+		LinkPJ:           e.LinkPJ,
+		BufferPJ:         e.BufferPJ,
+		RouteArbitratePJ: e.RoutePJ + e.ArbPJ,
+		TotalMicrojoules: e.TotalUJ(),
+	}, nil
+}

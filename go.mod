@@ -1,0 +1,3 @@
+module multitree
+
+go 1.22

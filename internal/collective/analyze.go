@@ -1,0 +1,150 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+
+	"multitree/internal/topology"
+)
+
+// Analysis summarizes the static properties of a schedule that Table I of
+// the paper compares: algorithmic step count, per-node traffic volume
+// relative to the bandwidth-optimal 2(N-1)/N * S, hop counts, and worst
+// same-step link contention.
+type Analysis struct {
+	Algorithm string
+	Topology  string
+	Nodes     int
+
+	Steps     int
+	Transfers int
+
+	// TotalBytes is payload bytes summed over transfers; OptimalBytes is
+	// the bandwidth-optimal network-wide volume N * 2(N-1)/N * S = 2(N-1)S.
+	TotalBytes   int64
+	OptimalBytes int64
+
+	// MaxHops is the longest routed path of any transfer (1 for
+	// direct-network MultiTree by construction).
+	MaxHops int
+
+	// MaxLinkOverlap is the largest number of same-step transfers that
+	// share one directed link. 1 means contention-free under lockstep
+	// scheduling.
+	MaxLinkOverlap int
+
+	// BusiestStepLinks is the fraction of directed links used at the
+	// busiest step, a link-utilization proxy (§I's 25% ring example).
+	BusiestStepLinks float64
+}
+
+// BandwidthOverhead returns TotalBytes / OptimalBytes; 1.0 is
+// bandwidth-optimal, 2D-Ring approaches 2.0.
+func (a Analysis) BandwidthOverhead() float64 {
+	if a.OptimalBytes == 0 {
+		return 0
+	}
+	return float64(a.TotalBytes) / float64(a.OptimalBytes)
+}
+
+// ContentionFree reports whether no two same-step transfers share a link.
+func (a Analysis) ContentionFree() bool { return a.MaxLinkOverlap <= 1 }
+
+func (a Analysis) String() string {
+	return fmt.Sprintf(
+		"%s on %s: steps=%d transfers=%d bytes=%.2fx-optimal maxHops=%d maxOverlap=%d",
+		a.Algorithm, a.Topology, a.Steps, a.Transfers,
+		a.BandwidthOverhead(), a.MaxHops, a.MaxLinkOverlap)
+}
+
+// Analyze computes the static schedule properties used by Table I and the
+// ablation benches.
+func Analyze(s *Schedule) Analysis {
+	a := Analysis{
+		Algorithm: s.Algorithm,
+		Topology:  s.Topo.Name(),
+		Nodes:     s.Topo.Nodes(),
+		Steps:     s.Steps,
+		Transfers: len(s.Transfers),
+	}
+	n := int64(s.Topo.Nodes())
+	a.TotalBytes = s.TotalBytes()
+	a.OptimalBytes = 2 * (n - 1) * int64(s.Elems) * WordSize
+
+	// Per-step link usage.
+	type key struct {
+		step int
+		link topology.LinkID
+	}
+	usage := make(map[key]int)
+	stepLinks := make(map[int]map[topology.LinkID]bool)
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		path := s.PathOf(t)
+		if len(path) > a.MaxHops {
+			a.MaxHops = len(path)
+		}
+		for _, l := range path {
+			usage[key{t.Step, l}]++
+			m := stepLinks[t.Step]
+			if m == nil {
+				m = make(map[topology.LinkID]bool)
+				stepLinks[t.Step] = m
+			}
+			m[l] = true
+		}
+	}
+	for _, c := range usage {
+		if c > a.MaxLinkOverlap {
+			a.MaxLinkOverlap = c
+		}
+	}
+	busiest := 0
+	for _, m := range stepLinks {
+		if len(m) > busiest {
+			busiest = len(m)
+		}
+	}
+	if nl := len(s.Topo.Links()); nl > 0 {
+		a.BusiestStepLinks = float64(busiest) / float64(nl)
+	}
+	return a
+}
+
+// PerNodeBytes returns, for each node, the payload bytes it injects
+// (sends). Bandwidth-optimal algorithms inject 2(N-1)/N * S per node.
+func PerNodeBytes(s *Schedule) []int64 {
+	out := make([]int64, s.Topo.Nodes())
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		out[t.Src] += s.Bytes(t)
+	}
+	return out
+}
+
+// StepHistogram returns the number of transfers at each step (1-based
+// index 0 unused), useful for inspecting schedule balance.
+func StepHistogram(s *Schedule) []int {
+	h := make([]int, s.Steps+1)
+	for i := range s.Transfers {
+		h[s.Transfers[i].Step]++
+	}
+	return h
+}
+
+// SortTransfersByStep returns transfer indices ordered by (step, id),
+// used by pretty-printers.
+func SortTransfersByStep(s *Schedule) []int {
+	idx := make([]int, len(s.Transfers))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ta, tb := &s.Transfers[idx[a]], &s.Transfers[idx[b]]
+		if ta.Step != tb.Step {
+			return ta.Step < tb.Step
+		}
+		return ta.ID < tb.ID
+	})
+	return idx
+}

@@ -1,0 +1,100 @@
+package collective_test
+
+import (
+	"fmt"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/dbtree"
+	"multitree/internal/hdrm"
+	"multitree/internal/ring"
+	"multitree/internal/ring2d"
+	"multitree/internal/topology"
+)
+
+// buildAll returns every algorithm's schedule applicable to the topology.
+func buildAll(t *testing.T, topo *topology.Topology, elems int) map[string]*collective.Schedule {
+	t.Helper()
+	out := map[string]*collective.Schedule{}
+	out["ring"] = ring.Build(topo, elems)
+	if s, err := dbtree.Build(topo, elems, 4); err == nil {
+		out["dbtree"] = s
+	} else {
+		t.Fatalf("dbtree on %s: %v", topo.Name(), err)
+	}
+	if nx, _ := topo.GridDims(); nx > 0 {
+		s, err := ring2d.Build(topo, elems)
+		if err != nil {
+			t.Fatalf("ring2d on %s: %v", topo.Name(), err)
+		}
+		out["2d-ring"] = s
+	}
+	if n := topo.Nodes(); n&(n-1) == 0 {
+		s, err := hdrm.Build(topo, elems)
+		if err != nil {
+			t.Fatalf("hdrm on %s: %v", topo.Name(), err)
+		}
+		out["hdrm"] = s
+	}
+	s, err := core.Build(topo, elems, core.Options{})
+	if err != nil {
+		t.Fatalf("multitree on %s: %v", topo.Name(), err)
+	}
+	out["multitree"] = s
+	return out
+}
+
+func testTopologies() []*topology.Topology {
+	cfg := topology.DefaultLinkConfig()
+	return []*topology.Topology{
+		topology.Mesh(2, 2, cfg),
+		topology.Mesh(4, 4, cfg),
+		topology.Mesh(3, 5, cfg),
+		topology.Torus(4, 4, cfg),
+		topology.Torus(4, 8, cfg),
+		topology.FatTree(4, 4, 4, cfg),
+		topology.BiGraph(4, 4, cfg),
+	}
+}
+
+// TestAllReduceCorrectness executes every (algorithm, topology) schedule
+// on real vectors and checks that every node ends with the global sum.
+func TestAllReduceCorrectness(t *testing.T) {
+	for _, topo := range testTopologies() {
+		for name, s := range buildAll(t, topo, 1000) {
+			t.Run(fmt.Sprintf("%s/%s", name, topo.Name()), func(t *testing.T) {
+				if err := s.Validate(); err != nil {
+					t.Fatalf("validate: %v", err)
+				}
+				in := collective.RampInputs(topo.Nodes(), s.Elems)
+				if err := collective.VerifyAllReduce(s, in); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestMultiTreeContentionFree checks the central structural claim: no two
+// same-step MultiTree transfers share a directed link, on any topology,
+// under both the paper-literal and the shortest-path-first allocations.
+func TestMultiTreeContentionFree(t *testing.T) {
+	for _, topo := range testTopologies() {
+		for _, opts := range []core.Options{{}, core.DefaultOptions(topo), {ShortestPathFirst: true}} {
+			s, err := core.Build(topo, 4096, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", topo.Name(), err)
+			}
+			a := collective.Analyze(s)
+			if !a.ContentionFree() {
+				t.Errorf("%s %+v: max same-step link overlap %d, want 1 (%s)",
+					topo.Name(), opts, a.MaxLinkOverlap, a)
+			}
+			in := collective.RampInputs(topo.Nodes(), s.Elems)
+			if err := collective.VerifyAllReduce(s, in); err != nil {
+				t.Errorf("%s %+v: %v", topo.Name(), opts, err)
+			}
+		}
+	}
+}

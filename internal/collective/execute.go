@@ -1,0 +1,96 @@
+package collective
+
+import (
+	"fmt"
+	"math"
+)
+
+// Execute runs a schedule's reduction semantics on real data: inputs holds
+// one gradient vector per node, and the returned slices hold each node's
+// buffer after the schedule completes. For a correct all-reduce schedule
+// every output vector equals the element-wise sum of the inputs.
+//
+// Transfers execute in dependency (topological) order; an algorithm whose
+// correctness relies on timing rather than on its declared dependencies
+// will produce wrong sums here, which is exactly the point.
+func Execute(s *Schedule, inputs [][]float32) ([][]float32, error) {
+	n := s.Topo.Nodes()
+	if len(inputs) != n {
+		return nil, fmt.Errorf("collective: %d input vectors for %d nodes", len(inputs), n)
+	}
+	for i, v := range inputs {
+		if len(v) != s.Elems {
+			return nil, fmt.Errorf("collective: node %d input has %d elems, want %d", i, len(v), s.Elems)
+		}
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	bufs := make([][]float32, n)
+	for i := range bufs {
+		bufs[i] = make([]float32, s.Elems)
+		copy(bufs[i], inputs[i])
+	}
+	for _, id := range order {
+		t := &s.Transfers[id]
+		seg := s.Seg(t)
+		src := bufs[t.Src][seg.Off:seg.End()]
+		dst := bufs[t.Dst][seg.Off:seg.End()]
+		switch t.Op {
+		case Reduce:
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		case Gather:
+			copy(dst, src)
+		default:
+			return nil, fmt.Errorf("collective: transfer %d has op %v", id, t.Op)
+		}
+	}
+	return bufs, nil
+}
+
+// VerifyAllReduce executes the schedule on the inputs and checks that every
+// node ends with the element-wise sum, within a small relative tolerance
+// for float32 association-order differences.
+func VerifyAllReduce(s *Schedule, inputs [][]float32) error {
+	out, err := Execute(s, inputs)
+	if err != nil {
+		return err
+	}
+	want := make([]float64, s.Elems)
+	for _, v := range inputs {
+		for i, x := range v {
+			want[i] += float64(x)
+		}
+	}
+	const relTol = 1e-4
+	for node, buf := range out {
+		for i, got := range buf {
+			w := want[i]
+			diff := math.Abs(float64(got) - w)
+			if diff > relTol*math.Max(1, math.Abs(w)) {
+				return fmt.Errorf(
+					"collective: %s on %s: node %d elem %d = %g, want %g",
+					s.Algorithm, s.Topo.Name(), node, i, got, w)
+			}
+		}
+	}
+	return nil
+}
+
+// RampInputs builds deterministic, node-distinguishable test vectors:
+// node k element i gets float32(k+1) * rampVal(i). Useful in tests and
+// examples.
+func RampInputs(nodes, elems int) [][]float32 {
+	in := make([][]float32, nodes)
+	for k := range in {
+		v := make([]float32, elems)
+		for i := range v {
+			v[i] = float32(k+1) * (1 + float32(i%17)/16)
+		}
+		in[k] = v
+	}
+	return in
+}

@@ -1,0 +1,261 @@
+// Package collective defines the intermediate representation shared by all
+// all-reduce algorithms in this repository: a DAG of point-to-point
+// transfers tagged with reduction semantics, the spanning-tree form used by
+// tree-based algorithms, and utilities to validate, analyze and execute
+// schedules on real data.
+//
+// Every algorithm (ring, double binary tree, 2D-ring, HDRM and MultiTree)
+// lowers to a Schedule. The network simulators in internal/network execute
+// Schedules against a topology; the correctness interpreter in this package
+// executes them against float32 vectors to prove the all-reduce semantics.
+package collective
+
+import (
+	"container/heap"
+	"fmt"
+
+	"multitree/internal/topology"
+)
+
+// idHeap is a min-heap of transfer ids used for deterministic topological
+// ordering.
+type idHeap []TransferID
+
+func (h idHeap) Len() int           { return len(h) }
+func (h idHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h idHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *idHeap) Push(x any)        { *h = append(*h, x.(TransferID)) }
+func (h *idHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// WordSize is the gradient element size in bytes (32-bit precision,
+// Table III).
+const WordSize = 4
+
+// Op is the operation a transfer performs at its destination, matching the
+// schedule-table opcodes of §IV-A.
+type Op uint8
+
+const (
+	// Reduce adds the carried segment into the destination's buffer
+	// (reduce-scatter phase, leaf-to-root).
+	Reduce Op = iota
+	// Gather overwrites the destination's copy of the segment with the
+	// carried, fully reduced value (all-gather phase, root-to-leaf).
+	Gather
+	// NOP entries exist only in NI schedule tables to hold the lockstep;
+	// they never appear as transfers.
+	NOP
+)
+
+func (o Op) String() string {
+	switch o {
+	case Reduce:
+		return "Reduce"
+	case Gather:
+		return "Gather"
+	case NOP:
+		return "NOP"
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// TransferID indexes a transfer within a Schedule.
+type TransferID int32
+
+// Range is a half-open element interval [Off, Off+Len) of the gradient
+// vector.
+type Range struct {
+	Off, Len int
+}
+
+// End returns the exclusive upper bound of the range.
+func (r Range) End() int { return r.Off + r.Len }
+
+// Bytes returns the on-wire payload size of the range.
+func (r Range) Bytes() int64 { return int64(r.Len) * WordSize }
+
+// Transfer is one point-to-point message in an all-reduce schedule.
+type Transfer struct {
+	ID   TransferID
+	Src  topology.NodeID
+	Dst  topology.NodeID
+	Op   Op
+	Flow int // tree / chunk id (FlowID of the schedule table)
+	Step int // algorithmic time step, 1-based
+
+	// Deps lists transfers that must complete before this one may start
+	// (the Parent/Children dependencies of the schedule table).
+	Deps []TransferID
+
+	// Path optionally pins the source-routed link path (§IV-B); when nil
+	// the simulators use the topology's deterministic routing.
+	Path []topology.LinkID
+}
+
+// Schedule is a complete all-reduce communication plan.
+type Schedule struct {
+	Algorithm string
+	Topo      *topology.Topology
+
+	// Elems is the total gradient length in elements.
+	Elems int
+
+	// Flows maps each flow id to the gradient segment it carries.
+	Flows []Range
+
+	Transfers []Transfer
+
+	// Steps is the total number of algorithmic time steps.
+	Steps int
+}
+
+// NewSchedule allocates an empty schedule for the given topology and data
+// size in elements, with the flow segments produced by Partition.
+func NewSchedule(alg string, topo *topology.Topology, elems, flows int) *Schedule {
+	return &Schedule{
+		Algorithm: alg,
+		Topo:      topo,
+		Elems:     elems,
+		Flows:     Partition(elems, flows),
+	}
+}
+
+// Add appends a transfer, assigns its ID, and returns it.
+func (s *Schedule) Add(t Transfer) TransferID {
+	t.ID = TransferID(len(s.Transfers))
+	s.Transfers = append(s.Transfers, t)
+	if t.Step > s.Steps {
+		s.Steps = t.Step
+	}
+	return t.ID
+}
+
+// Seg returns the gradient segment a transfer carries.
+func (s *Schedule) Seg(t *Transfer) Range { return s.Flows[t.Flow] }
+
+// Bytes returns the payload bytes of a transfer.
+func (s *Schedule) Bytes(t *Transfer) int64 { return s.Flows[t.Flow].Bytes() }
+
+// TotalBytes returns the sum of payload bytes over all transfers, the
+// quantity the bandwidth-optimality comparisons of §II-C count.
+func (s *Schedule) TotalBytes() int64 {
+	var sum int64
+	for i := range s.Transfers {
+		sum += s.Bytes(&s.Transfers[i])
+	}
+	return sum
+}
+
+// PathOf returns the link path of a transfer: the pinned source route if
+// present, otherwise the topology's deterministic route.
+func (s *Schedule) PathOf(t *Transfer) []topology.LinkID {
+	if t.Path != nil {
+		return t.Path
+	}
+	return s.Topo.Route(t.Src, t.Dst)
+}
+
+// Partition splits elems into parts contiguous ranges whose lengths differ
+// by at most one element, earlier ranges taking the remainder.
+func Partition(elems, parts int) []Range {
+	if parts <= 0 {
+		panic("collective: Partition needs at least one part")
+	}
+	out := make([]Range, parts)
+	base := elems / parts
+	rem := elems % parts
+	off := 0
+	for i := range out {
+		n := base
+		if i < rem {
+			n++
+		}
+		out[i] = Range{Off: off, Len: n}
+		off += n
+	}
+	return out
+}
+
+// Validate checks structural well-formedness: ids in range, src != dst,
+// deps reference earlier-validated transfers, flows within bounds, and the
+// dependency graph being acyclic. Algorithms call it in tests; simulators
+// assume a valid schedule.
+func (s *Schedule) Validate() error {
+	if s.Topo == nil {
+		return fmt.Errorf("collective: schedule %q has no topology", s.Algorithm)
+	}
+	n := topology.NodeID(s.Topo.Nodes())
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		if t.ID != TransferID(i) {
+			return fmt.Errorf("transfer %d: bad id %d", i, t.ID)
+		}
+		if t.Src < 0 || t.Src >= n || t.Dst < 0 || t.Dst >= n {
+			return fmt.Errorf("transfer %d: endpoint out of range (%d->%d)", i, t.Src, t.Dst)
+		}
+		if t.Src == t.Dst {
+			return fmt.Errorf("transfer %d: self-transfer on node %d", i, t.Src)
+		}
+		if t.Op != Reduce && t.Op != Gather {
+			return fmt.Errorf("transfer %d: bad op %v", i, t.Op)
+		}
+		if t.Flow < 0 || t.Flow >= len(s.Flows) {
+			return fmt.Errorf("transfer %d: flow %d out of range", i, t.Flow)
+		}
+		if t.Step < 1 {
+			return fmt.Errorf("transfer %d: step %d < 1", i, t.Step)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || int(d) >= len(s.Transfers) {
+				return fmt.Errorf("transfer %d: dep %d out of range", i, d)
+			}
+		}
+	}
+	if _, err := s.TopoOrder(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// TopoOrder returns a deterministic topological order of the transfers
+// (Kahn's algorithm, ready set drained in id order), or an error if the
+// dependency graph has a cycle.
+func (s *Schedule) TopoOrder() ([]TransferID, error) {
+	n := len(s.Transfers)
+	indeg := make([]int, n)
+	succ := make([][]TransferID, n)
+	for i := range s.Transfers {
+		for _, d := range s.Transfers[i].Deps {
+			indeg[i]++
+			succ[d] = append(succ[d], TransferID(i))
+		}
+	}
+	var ready idHeap
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, TransferID(i))
+		}
+	}
+	heap.Init(&ready)
+	order := make([]TransferID, 0, n)
+	for ready.Len() > 0 {
+		id := heap.Pop(&ready).(TransferID)
+		order = append(order, id)
+		for _, nxt := range succ[id] {
+			indeg[nxt]--
+			if indeg[nxt] == 0 {
+				heap.Push(&ready, nxt)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("collective: dependency cycle in %s schedule", s.Algorithm)
+	}
+	return order, nil
+}

@@ -1,0 +1,202 @@
+package collective
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multitree/internal/topology"
+)
+
+func testTopo() *topology.Topology {
+	return topology.Mesh(2, 2, topology.DefaultLinkConfig())
+}
+
+// TestPartitionProperties: parts cover [0, elems) contiguously, lengths
+// differ by at most one.
+func TestPartitionProperties(t *testing.T) {
+	f := func(e uint16, p uint8) bool {
+		elems := int(e)
+		parts := 1 + int(p)%64
+		rs := Partition(elems, parts)
+		if len(rs) != parts {
+			return false
+		}
+		off, min, max := 0, 1<<30, 0
+		for _, r := range rs {
+			if r.Off != off || r.Len < 0 {
+				return false
+			}
+			off += r.Len
+			if r.Len < min {
+				min = r.Len
+			}
+			if r.Len > max {
+				max = r.Len
+			}
+		}
+		return off == elems && max-min <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionPanicsOnZeroParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Partition(10, 0) did not panic")
+		}
+	}()
+	Partition(10, 0)
+}
+
+func TestValidateCatchesSelfTransfer(t *testing.T) {
+	s := NewSchedule("bad", testTopo(), 100, 1)
+	s.Add(Transfer{Src: 1, Dst: 1, Op: Reduce, Flow: 0, Step: 1})
+	if err := s.Validate(); err == nil {
+		t.Error("self-transfer passed validation")
+	}
+}
+
+func TestValidateCatchesBadFlow(t *testing.T) {
+	s := NewSchedule("bad", testTopo(), 100, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Reduce, Flow: 5, Step: 1})
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range flow passed validation")
+	}
+}
+
+func TestValidateCatchesBadStep(t *testing.T) {
+	s := NewSchedule("bad", testTopo(), 100, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Reduce, Flow: 0, Step: 0})
+	if err := s.Validate(); err == nil {
+		t.Error("step 0 passed validation")
+	}
+}
+
+func TestTopoOrderDetectsCycle(t *testing.T) {
+	s := NewSchedule("cyclic", testTopo(), 100, 1)
+	a := s.Add(Transfer{Src: 0, Dst: 1, Op: Reduce, Flow: 0, Step: 1})
+	b := s.Add(Transfer{Src: 1, Dst: 2, Op: Reduce, Flow: 0, Step: 2, Deps: []TransferID{a}})
+	s.Transfers[a].Deps = []TransferID{b}
+	if _, err := s.TopoOrder(); err == nil {
+		t.Error("cycle not detected")
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("Validate missed the cycle")
+	}
+}
+
+func TestTopoOrderRespectsDeps(t *testing.T) {
+	s := NewSchedule("chain", testTopo(), 100, 1)
+	var prev TransferID = -1
+	for i := 0; i < 5; i++ {
+		var deps []TransferID
+		if prev >= 0 {
+			deps = []TransferID{prev}
+		}
+		prev = s.Add(Transfer{Src: topology.NodeID(i % 2), Dst: topology.NodeID(1 - i%2),
+			Op: Reduce, Flow: 0, Step: i + 1, Deps: deps})
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[TransferID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	for i := range s.Transfers {
+		for _, d := range s.Transfers[i].Deps {
+			if pos[d] >= pos[TransferID(i)] {
+				t.Fatalf("dep %d ordered after %d", d, i)
+			}
+		}
+	}
+}
+
+func TestTotalBytesAndPerNode(t *testing.T) {
+	s := NewSchedule("unit", testTopo(), 1000, 4)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1})
+	s.Add(Transfer{Src: 0, Dst: 2, Op: Gather, Flow: 1, Step: 1})
+	want := s.Flows[0].Bytes() + s.Flows[1].Bytes()
+	if got := s.TotalBytes(); got != want {
+		t.Errorf("TotalBytes = %d, want %d", got, want)
+	}
+	per := PerNodeBytes(s)
+	if per[0] != want || per[1] != 0 {
+		t.Errorf("PerNodeBytes = %v", per)
+	}
+}
+
+func TestAnalyzeContention(t *testing.T) {
+	// Two same-step transfers forced over the same link.
+	topo := testTopo()
+	s := NewSchedule("contended", topo, 1000, 2)
+	path := topo.Route(0, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1, Path: path})
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 1, Step: 1, Path: path})
+	a := Analyze(s)
+	if a.MaxLinkOverlap != 2 || a.ContentionFree() {
+		t.Errorf("contended schedule analyzed as %+v", a)
+	}
+	// Different steps: no same-step overlap.
+	s2 := NewSchedule("ok", topo, 1000, 2)
+	s2.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1, Path: path})
+	s2.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 1, Step: 2, Path: path})
+	if a2 := Analyze(s2); !a2.ContentionFree() {
+		t.Errorf("step-separated schedule flagged contended: %+v", a2)
+	}
+}
+
+func TestStepHistogram(t *testing.T) {
+	s := NewSchedule("unit", testTopo(), 100, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1})
+	s.Add(Transfer{Src: 1, Dst: 3, Op: Gather, Flow: 0, Step: 2})
+	s.Add(Transfer{Src: 2, Dst: 0, Op: Gather, Flow: 0, Step: 2})
+	h := StepHistogram(s)
+	if len(h) != 3 || h[1] != 1 || h[2] != 2 {
+		t.Errorf("histogram = %v", h)
+	}
+}
+
+func TestExecuteRejectsBadInputs(t *testing.T) {
+	s := NewSchedule("unit", testTopo(), 100, 1)
+	if _, err := Execute(s, make([][]float32, 3)); err == nil {
+		t.Error("wrong node count accepted")
+	}
+	in := RampInputs(4, 99)
+	if _, err := Execute(s, in); err == nil {
+		t.Error("wrong vector length accepted")
+	}
+}
+
+// TestExecuteGatherOverwrites pins the op semantics.
+func TestExecuteGatherOverwrites(t *testing.T) {
+	s := NewSchedule("unit", testTopo(), 4, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1})
+	in := [][]float32{{1, 1, 1, 1}, {2, 2, 2, 2}, {3, 3, 3, 3}, {4, 4, 4, 4}}
+	out, err := Execute(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1][0] != 1 {
+		t.Errorf("gather did not overwrite: %v", out[1])
+	}
+	if out[0][0] != 1 || out[2][0] != 3 {
+		t.Errorf("unrelated buffers changed: %v %v", out[0], out[2])
+	}
+}
+
+func TestExecuteReduceAdds(t *testing.T) {
+	s := NewSchedule("unit", testTopo(), 4, 1)
+	s.Add(Transfer{Src: 0, Dst: 1, Op: Reduce, Flow: 0, Step: 1})
+	in := [][]float32{{1, 1, 1, 1}, {2, 2, 2, 2}, {3, 3, 3, 3}, {4, 4, 4, 4}}
+	out, err := Execute(s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[1][0] != 3 {
+		t.Errorf("reduce did not add: %v", out[1])
+	}
+}

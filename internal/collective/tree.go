@@ -1,0 +1,273 @@
+package collective
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multitree/internal/topology"
+)
+
+// Tree is a spanning reduction/broadcast tree for one flow (one gradient
+// chunk), the structure Algorithm 1 of the paper constructs. The same tree
+// serves both phases: reduce-scatter runs it leaf-to-root, all-gather
+// root-to-leaf, exactly as lines 16-18 of Algorithm 1 derive one from the
+// other.
+type Tree struct {
+	Flow int
+	Root topology.NodeID
+
+	// Parent[n] is node n's parent, -1 for the root.
+	Parent []topology.NodeID
+
+	// AGStep[n] is the 1-based all-gather time step at which the edge
+	// Parent[n] -> n communicates (the construction time step of line 13);
+	// 0 for the root.
+	AGStep []int
+
+	// Path[n] optionally pins the allocated link path Parent[n] -> n for
+	// indirect networks (§III-C3); nil entries fall back to routing.
+	Path [][]topology.LinkID
+
+	// Members, when non-nil, restricts the tree to a subset of nodes —
+	// the hybrid-parallel case of §VII-B where "MultiTree runs for the
+	// nodes that involve all-reduce communication". Non-member nodes may
+	// still appear inside Path entries as pass-through routers, but they
+	// neither send nor receive gradient chunks.
+	Members []bool
+}
+
+// NewTree allocates a tree over n nodes rooted at root.
+func NewTree(flow int, root topology.NodeID, n int) *Tree {
+	t := &Tree{
+		Flow:   flow,
+		Root:   root,
+		Parent: make([]topology.NodeID, n),
+		AGStep: make([]int, n),
+		Path:   make([][]topology.LinkID, n),
+	}
+	for i := range t.Parent {
+		t.Parent[i] = -1
+	}
+	return t
+}
+
+// SetEdge records that node child was connected to parent at all-gather
+// step step.
+func (t *Tree) SetEdge(parent, child topology.NodeID, step int) {
+	t.Parent[child] = parent
+	t.AGStep[child] = step
+}
+
+// Children returns, for each node, its children sorted by attach step then
+// id — the order the schedule table lists them.
+func (t *Tree) Children() [][]topology.NodeID {
+	ch := make([][]topology.NodeID, len(t.Parent))
+	for n, p := range t.Parent {
+		if topology.NodeID(n) == t.Root || p < 0 {
+			continue
+		}
+		ch[p] = append(ch[p], topology.NodeID(n))
+	}
+	for p := range ch {
+		kids := ch[p]
+		sort.Slice(kids, func(i, j int) bool {
+			if t.AGStep[kids[i]] != t.AGStep[kids[j]] {
+				return t.AGStep[kids[i]] < t.AGStep[kids[j]]
+			}
+			return kids[i] < kids[j]
+		})
+	}
+	return ch
+}
+
+// Height returns the maximum AGStep, i.e. the tree's scheduled depth.
+func (t *Tree) Height() int {
+	h := 0
+	for _, s := range t.AGStep {
+		if s > h {
+			h = s
+		}
+	}
+	return h
+}
+
+// Validate checks that the tree spans all nodes, is acyclic, and that each
+// child attaches at a strictly later step than its parent.
+func (t *Tree) Validate() error {
+	n := len(t.Parent)
+	for node := 0; node < n; node++ {
+		id := topology.NodeID(node)
+		if t.Members != nil && !t.Members[node] {
+			if t.Parent[node] != -1 {
+				return fmt.Errorf("tree %d: non-member %d has parent %d", t.Flow, id, t.Parent[node])
+			}
+			continue
+		}
+		if id == t.Root {
+			if t.Parent[node] != -1 {
+				return fmt.Errorf("tree %d: root %d has parent %d", t.Flow, id, t.Parent[node])
+			}
+			continue
+		}
+		if t.Parent[node] < 0 {
+			return fmt.Errorf("tree %d: node %d not connected", t.Flow, id)
+		}
+		if t.AGStep[node] < 1 {
+			return fmt.Errorf("tree %d: node %d has step %d", t.Flow, id, t.AGStep[node])
+		}
+		if p := t.Parent[node]; p != t.Root && t.AGStep[p] >= t.AGStep[node] {
+			return fmt.Errorf("tree %d: node %d (step %d) attaches no later than parent %d (step %d)",
+				t.Flow, id, t.AGStep[node], p, t.AGStep[p])
+		}
+		// Walk to the root to detect cycles.
+		seen := 0
+		for v := id; v != t.Root; v = t.Parent[v] {
+			if seen++; seen > n {
+				return fmt.Errorf("tree %d: cycle through node %d", t.Flow, id)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders the tree per level for diagnostics and the Fig. 3
+// walkthrough.
+func (t *Tree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tree %d root n%d:", t.Flow, t.Root)
+	byStep := map[int][]string{}
+	maxStep := 0
+	for n, p := range t.Parent {
+		if p < 0 {
+			continue
+		}
+		s := t.AGStep[n]
+		byStep[s] = append(byStep[s], fmt.Sprintf("n%d->n%d", p, n))
+		if s > maxStep {
+			maxStep = s
+		}
+	}
+	for s := 1; s <= maxStep; s++ {
+		edges := byStep[s]
+		sort.Strings(edges)
+		fmt.Fprintf(&b, " [t%d: %s]", s, strings.Join(edges, " "))
+	}
+	return b.String()
+}
+
+// TreesToSchedule lowers a set of spanning trees (one per flow) into a
+// Transfer DAG. Reduce-scatter transfers occupy steps 1..tot and run each
+// tree leaf-to-root; all-gather transfers occupy steps tot+1..2*tot and run
+// root-to-leaf, with the step reversal of Algorithm 1 lines 16-18:
+//
+//	reduce step  = tot - AGStep + 1
+//	gather step  = tot + AGStep
+//
+// Dependencies encode the schedule-table semantics of §IV-A: a node's
+// Reduce to its parent waits for the Reduces from all its children, and a
+// Gather to a child waits for the Gather received from the parent (or, at
+// the root, for the completed reduction).
+func TreesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree) (*Schedule, error) {
+	s := NewSchedule(alg, topo, elems, len(trees))
+	tot := 0
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		if h := tr.Height(); h > tot {
+			tot = h
+		}
+	}
+	for _, tr := range trees {
+		n := len(tr.Parent)
+
+		// Reduce phase, deepest level first so dependencies reference
+		// already-added transfers.
+		reduceInto := make([][]TransferID, n) // Reduce transfers received per node
+		reduceFrom := make([]TransferID, n)   // the Reduce each non-root node sends
+		type edge struct {
+			child topology.NodeID
+			step  int
+		}
+		var edges []edge
+		for node := 0; node < n; node++ {
+			if tr.Members != nil && !tr.Members[node] {
+				continue
+			}
+			if topology.NodeID(node) != tr.Root {
+				edges = append(edges, edge{topology.NodeID(node), tr.AGStep[node]})
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].step != edges[j].step {
+				return edges[i].step > edges[j].step // deepest first for reduce
+			}
+			return edges[i].child < edges[j].child
+		})
+		for _, e := range edges {
+			p := tr.Parent[e.child]
+			var deps []TransferID
+			deps = append(deps, reduceInto[e.child]...)
+			id := s.Add(Transfer{
+				Src: e.child, Dst: p, Op: Reduce, Flow: tr.Flow,
+				Step: tot - e.step + 1,
+				Deps: deps,
+				Path: reversePath(topo, tr.Path[e.child]),
+			})
+			reduceFrom[e.child] = id
+			reduceInto[p] = append(reduceInto[p], id)
+		}
+
+		// Gather phase, shallowest level first.
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].step != edges[j].step {
+				return edges[i].step < edges[j].step
+			}
+			return edges[i].child < edges[j].child
+		})
+		gatherInto := make([]TransferID, n)
+		for i := range gatherInto {
+			gatherInto[i] = -1
+		}
+		for _, e := range edges {
+			p := tr.Parent[e.child]
+			var deps []TransferID
+			if p == tr.Root {
+				deps = append(deps, reduceInto[tr.Root]...)
+			} else if gatherInto[p] >= 0 {
+				deps = append(deps, gatherInto[p])
+			}
+			// A node cannot forward downstream before it has stopped
+			// needing its buffer for the reduce it sent upstream; the
+			// gather overwrites the same segment, so order after its own
+			// reduce send.
+			if topology.NodeID(e.child) != tr.Root {
+				deps = append(deps, reduceFrom[e.child])
+			}
+			id := s.Add(Transfer{
+				Src: p, Dst: e.child, Op: Gather, Flow: tr.Flow,
+				Step: tot + e.step,
+				Deps: deps,
+				Path: tr.Path[e.child],
+			})
+			gatherInto[e.child] = id
+		}
+	}
+	s.Steps = 2 * tot
+	return s, nil
+}
+
+// reversePath returns the opposite-direction link path, used to derive
+// reduce-scatter routes from allocated all-gather routes.
+func reversePath(topo *topology.Topology, path []topology.LinkID) []topology.LinkID {
+	if path == nil {
+		return nil
+	}
+	out := make([]topology.LinkID, len(path))
+	for i, id := range path {
+		l := topo.Link(id)
+		out[len(path)-1-i] = topo.ReverseLink(l)
+	}
+	return out
+}

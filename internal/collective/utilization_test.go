@@ -1,0 +1,60 @@
+package collective_test
+
+import (
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+// TestRingUtilization25Percent pins the paper's §I motivation verbatim:
+// ring all-reduce achieves "only 25% link utilization rate in a 4x4 2D
+// Torus".
+func TestRingUtilization25Percent(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s := ring.Build(topo, 4096)
+	u := collective.StepUtilization(s)
+	for step := 1; step < len(u); step++ {
+		if u[step] != 0.25 {
+			t.Fatalf("ring step %d uses %.0f%% of links, want 25%%", step, 100*u[step])
+		}
+	}
+	if m := collective.MeanUtilization(s); m != 0.25 {
+		t.Errorf("mean utilization %.2f, want 0.25", m)
+	}
+}
+
+// TestMultiTreeUtilizationHigh: MultiTree's middle steps saturate the
+// torus links, tripling ring's mean utilization.
+func TestMultiTreeUtilizationHigh(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, 4096, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := collective.StepUtilization(s)
+	saturated := 0
+	for step := 1; step < len(u); step++ {
+		if u[step] == 1.0 {
+			saturated++
+		}
+	}
+	if saturated == 0 {
+		t.Error("no fully utilized step in the MultiTree schedule")
+	}
+	if m := collective.MeanUtilization(s); m < 0.6 {
+		t.Errorf("mean utilization %.2f, want >= 0.6", m)
+	}
+}
+
+func TestUtilizationChartRenders(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s := ring.Build(topo, 4096)
+	chart := collective.UtilizationChart(s, 40)
+	if !strings.Contains(chart, "25%") || !strings.Contains(chart, "step") {
+		t.Errorf("chart rendering unexpected:\n%s", chart)
+	}
+}

@@ -1,0 +1,464 @@
+// Package core implements MultiTree, the paper's primary contribution: a
+// topology- and link-utilization-aware all-reduce algorithm (Algorithm 1)
+// that builds |V| spanning schedule trees concurrently, top-down from the
+// roots, allocating physical links per time step so that the resulting
+// reduce-scatter and all-gather schedules are contention-free on any
+// interconnect topology.
+//
+// Key properties reproduced from §III:
+//
+//   - One tree per node, so every node is a root of one flow and an
+//     internal/leaf node of all others, using all bidirectional links.
+//   - Trees take turns adding one node at a time (balance); parents are
+//     considered in their order of addition (breadth-first), which packs
+//     communication into levels near the roots and sparsifies the leaves.
+//   - A fresh copy of the topology graph per time step; an edge allocated
+//     to a tree is unavailable to every other tree within that step, so
+//     same-step transfers never share a link.
+//   - Reduce-scatter schedules are the time-reversed all-gather schedules
+//     (Algorithm 1 lines 16-18).
+//   - On switch-based (indirect) networks, links are allocated along
+//     node-switch-...-switch-node paths discovered breadth-first
+//     (§III-C3), and every transfer carries its allocated source route.
+package core
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// Algorithm is the schedule name used in reports.
+const Algorithm = "multitree"
+
+// TreeOrder selects how trees take turns during construction (§III-C1).
+type TreeOrder int
+
+const (
+	// RoundRobinByRoot alternates trees by ascending root id, the paper's
+	// default that "works fine in most cases, especially for symmetric
+	// networks like Torus".
+	RoundRobinByRoot TreeOrder = iota
+	// ByRemainingHeight prioritizes trees with larger remaining height so
+	// the longest paths are scheduled earliest, the paper's suggestion for
+	// asymmetric or irregular networks.
+	ByRemainingHeight
+)
+
+// Options tunes tree construction; the zero value reproduces the paper's
+// defaults.
+type Options struct {
+	Order TreeOrder
+
+	// ReverseNeighborOrder flips the adjacency preference (X before Y on
+	// grids instead of Y before X); used by the dimension-order ablation.
+	ReverseNeighborOrder bool
+
+	// Trees caps the number of schedule trees (0 or >= N means one per
+	// node, the paper's default). Fewer trees trade aggregate bandwidth
+	// for fewer construction steps — the Blink-inspired knob §VII-C
+	// leaves for future work. Roots are nodes 0..Trees-1.
+	Trees int
+
+	// ShortestPathFirst changes the per-turn choice on switch-based
+	// networks: instead of taking the first parent (in addition order)
+	// that can reach any child, the tree takes the (parent, child) pair
+	// with the shortest free path, conserving scarce inter-switch links.
+	// This is the "pruning and adjusting the trees" direction the paper's
+	// §IV-A footnote leaves for future exploration; the tree-adjustment
+	// ablation measures its effect. It helps fabrics whose inter-switch
+	// links are the scarce resource (BiGraph: 37 -> 31 steps) and hurts
+	// fabrics with abundant spine paths (Fat-Tree: deep same-switch
+	// chains double the steps), which is why Auto tries both.
+	ShortestPathFirst bool
+
+	// Auto builds trees with both allocation strategies and keeps the
+	// better set: Build scores both schedules with the fluid engine at
+	// the requested data size; BuildTrees (no size available) keeps the
+	// fewer-step set. DefaultOptions enables Auto on switch-based
+	// networks.
+	Auto bool
+}
+
+// DefaultOptions returns the recommended construction options for a
+// topology: the paper's literal parent-order scan on direct networks
+// (where every edge is one hop and the order is immaterial), and Auto on
+// switch-based networks, where the better of the first-parent and
+// shortest-path allocations depends on the fabric and the message size.
+func DefaultOptions(topo *topology.Topology) Options {
+	return Options{Auto: topo.Class() == topology.Indirect}
+}
+
+// BuildTrees runs Algorithm 1 and returns one spanning schedule tree per
+// node, with per-edge all-gather time steps and allocated link paths.
+func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, error) {
+	n := topo.Nodes()
+	if n < 2 {
+		return nil, fmt.Errorf("multitree: need at least 2 nodes, have %d", n)
+	}
+	if opts.Auto {
+		return buildAuto(topo, opts)
+	}
+	k := n // one tree per node by default
+	if opts.Trees > 0 && opts.Trees < n {
+		k = opts.Trees
+	}
+	trees := make([]*collective.Tree, k)
+	inTree := make([][]bool, k)             // inTree[t][node]
+	members := make([]int, k)               // node count per tree
+	parents := make([][]topology.NodeID, k) // nodes usable as parents (added in previous steps), in addition order
+	var pending [][]topology.NodeID         // nodes added during the current step, merged at step end
+	pending = make([][]topology.NodeID, k)
+	for i := 0; i < k; i++ {
+		trees[i] = collective.NewTree(i, topology.NodeID(i), n)
+		inTree[i] = make([]bool, n)
+		inTree[i][i] = true
+		members[i] = 1
+		parents[i] = []topology.NodeID{topology.NodeID(i)}
+	}
+
+	var ecc []int
+	if opts.Order == ByRemainingHeight {
+		ecc = eccentricities(topo)
+	}
+
+	avail := make([]bool, len(topo.Links()))
+	alloc := newPathFinder(topo, opts.ReverseNeighborOrder)
+	alloc.shortestFirst = opts.ShortestPathFirst
+
+	for t := 1; ; t++ {
+		if complete(members, n) {
+			return trees, nil
+		}
+		if t > 2*len(topo.Links())+2 {
+			return nil, fmt.Errorf("multitree: construction did not converge on %s", topo.Name())
+		}
+		// Start a new time step with a fresh topology graph (line 6).
+		for i := range avail {
+			avail[i] = true
+		}
+		addedThisStep := 0
+		for {
+			progress := false
+			for _, ti := range treeOrder(members, ecc, trees, opts.Order) {
+				if members[ti] == n {
+					continue
+				}
+				if child, parent, path := alloc.find(parents[ti], inTree[ti], avail); child >= 0 {
+					for _, l := range path {
+						avail[l] = false
+					}
+					trees[ti].SetEdge(parent, child, t)
+					trees[ti].Path[child] = path
+					inTree[ti][child] = true
+					members[ti]++
+					pending[ti] = append(pending[ti], child)
+					addedThisStep++
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if addedThisStep == 0 {
+			return nil, fmt.Errorf("multitree: no progress at step %d on %s (disconnected graph?)", t, topo.Name())
+		}
+		// Nodes added this step become eligible parents next step.
+		for ti := 0; ti < k; ti++ {
+			parents[ti] = append(parents[ti], pending[ti]...)
+			pending[ti] = pending[ti][:0]
+		}
+	}
+}
+
+// buildAuto constructs trees under both allocation strategies and keeps
+// the set that finishes in fewer time steps — the bandwidth-optimal
+// choice. Build refines this per data size; BuildTrees without a size
+// keeps the min-steps rule.
+func buildAuto(topo *topology.Topology, opts Options) ([]*collective.Tree, error) {
+	first, shortest, err := buildBoth(topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	if shortest != nil && maxHeight(shortest) < maxHeight(first) {
+		return shortest, nil
+	}
+	return first, nil
+}
+
+// buildBoth returns the paper-literal (first-parent) trees and, when it
+// succeeds, the shortest-path-first variant.
+func buildBoth(topo *topology.Topology, opts Options) (first, shortest []*collective.Tree, err error) {
+	opts.Auto = false
+	opts.ShortestPathFirst = false
+	first, err = BuildTrees(topo, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.ShortestPathFirst = true
+	shortest, err = BuildTrees(topo, opts)
+	if err != nil {
+		return first, nil, nil // fall back to the paper-literal trees
+	}
+	return first, shortest, nil
+}
+
+func maxHeight(trees []*collective.Tree) int {
+	h := 0
+	for _, tr := range trees {
+		if th := tr.Height(); th > h {
+			h = th
+		}
+	}
+	return h
+}
+
+// Build runs Algorithm 1 and lowers the trees to an executable schedule
+// with reduce-scatter steps 1..tot and all-gather steps tot+1..2tot.
+// With Auto set it builds both allocation variants, scores each with the
+// fast fluid engine at the target size, and keeps the faster schedule:
+// bushy first-parent trees win latency-bound small messages, step-minimal
+// shortest-path trees win bandwidth-bound large ones — the size-threshold
+// tuning NCCL applies between algorithms (footnote 1 of the paper),
+// applied here between two MultiTree schedules of the same fabric. Both
+// table sets fit comfortably in the NI (§V-A), so a deployment can hold
+// both and select per collective size.
+func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedule, error) {
+	if opts.Auto {
+		first, shortest, err := buildBoth(topo, opts)
+		if err != nil {
+			return nil, err
+		}
+		sf, err := collective.TreesToSchedule(Algorithm, topo, elems, first)
+		if err != nil {
+			return nil, err
+		}
+		if shortest == nil {
+			return sf, nil
+		}
+		ss, err := collective.TreesToSchedule(Algorithm, topo, elems, shortest)
+		if err != nil {
+			return nil, err
+		}
+		if scoreSchedule(ss) < scoreSchedule(sf) {
+			return ss, nil
+		}
+		return sf, nil
+	}
+	trees, err := BuildTrees(topo, opts)
+	if err != nil {
+		return nil, err
+	}
+	return collective.TreesToSchedule(Algorithm, topo, elems, trees)
+}
+
+func complete(members []int, n int) bool {
+	for _, m := range members {
+		if m != n {
+			return false
+		}
+	}
+	return true
+}
+
+// treeOrder returns the indices of the trees in the order they take turns
+// this round.
+func treeOrder(members, ecc []int, trees []*collective.Tree, order TreeOrder) []int {
+	n := len(trees)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if order != ByRemainingHeight {
+		return idx // ascending root id
+	}
+	remaining := make([]int, n)
+	for i, tr := range trees {
+		remaining[i] = ecc[i] - tr.Height()
+	}
+	// Insertion sort, descending remaining height, ties by root id.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j], idx[j-1]
+			if remaining[a] > remaining[b] || (remaining[a] == remaining[b] && a < b) {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// eccentricities returns each node's maximum hop distance to any other
+// node, measured over the full (unallocated) topology graph, traversing
+// switches freely. It estimates the final height of the tree rooted there.
+func eccentricities(topo *topology.Topology) []int {
+	n := topo.Nodes()
+	out := make([]int, n)
+	for src := 0; src < n; src++ {
+		dist := make([]int, topo.Vertices())
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[src] = 0
+		frontier := []int{src}
+		for len(frontier) > 0 {
+			var next []int
+			for _, v := range frontier {
+				// In switch-based networks only switches forward, so a
+				// path cannot relay through another end node; in direct
+				// networks every node's integrated router forwards.
+				if topo.Class() == topology.Indirect && topo.IsNode(v) && v != src {
+					continue
+				}
+				for _, l := range topo.Out(v) {
+					w := topo.Link(l).Dst
+					if dist[w] < 0 {
+						dist[w] = dist[v] + 1
+						next = append(next, w)
+					}
+				}
+			}
+			frontier = next
+		}
+		// Node-distance in construction steps: switch hops are internal to
+		// a single scheduled edge, so eccentricity counts destination
+		// nodes only. A conservative proxy is the max node distance in
+		// links, which orders roots correctly on grids and trees alike.
+		for d := 0; d < n; d++ {
+			if dist[d] > out[src] {
+				out[src] = dist[d]
+			}
+		}
+	}
+	return out
+}
+
+// pathFinder performs the per-parent breadth-first child search of
+// Algorithm 1 line 10 (direct networks: a free one-hop edge) and its
+// indirect-network extension §III-C3 (a free node-switch-...-node path).
+type pathFinder struct {
+	topo    *topology.Topology
+	reverse bool
+
+	// members, when non-nil, restricts candidate children to member nodes
+	// (subset all-reduce, §VII-B); in direct networks non-member nodes'
+	// routers still forward, so the search expands through them.
+	members []bool
+
+	// shortestFirst selects the Options.ShortestPathFirst allocation.
+	shortestFirst bool
+
+	// scratch, reused across calls to avoid allocation in the hot loop.
+	visited []bool
+	via     []topology.LinkID
+	queue   []int
+}
+
+func newPathFinder(topo *topology.Topology, reverse bool) *pathFinder {
+	return &pathFinder{
+		topo:    topo,
+		reverse: reverse,
+		visited: make([]bool, topo.Vertices()),
+		via:     make([]topology.LinkID, topo.Vertices()),
+	}
+}
+
+// find scans candidate parents in their order of addition and returns the
+// first (child, parent, allocated path) reachable over free links, or
+// child = -1 when no parent can extend the tree this step. With
+// shortestFirst set it instead returns the globally shortest free path
+// over all parents.
+func (f *pathFinder) find(parents []topology.NodeID, inTree, avail []bool) (topology.NodeID, topology.NodeID, []topology.LinkID) {
+	if !f.shortestFirst {
+		for _, p := range parents {
+			if c, path := f.bfs(int(p), inTree, avail); c >= 0 {
+				return c, p, path
+			}
+		}
+		return -1, -1, nil
+	}
+	bestChild := topology.NodeID(-1)
+	var bestParent topology.NodeID
+	var bestPath []topology.LinkID
+	for _, p := range parents {
+		c, path := f.bfs(int(p), inTree, avail)
+		if c < 0 {
+			continue
+		}
+		if bestChild < 0 || len(path) < len(bestPath) {
+			bestChild, bestParent, bestPath = c, p, path
+			if len(bestPath) <= 1 || (f.topo.Class() == topology.Indirect && len(bestPath) == 2) {
+				break // cannot do better than a direct / same-switch hop
+			}
+		}
+	}
+	return bestChild, bestParent, bestPath
+}
+
+// bfs searches from parent vertex start over available links. Expansion
+// passes only through switch vertices; the first node vertex found that is
+// not yet in the tree is returned together with its link path. Out-links
+// are scanned in the topology's preference order (or reversed for the
+// ablation), so one-hop children and Y-dimension neighbors win ties.
+func (f *pathFinder) bfs(start int, inTree, avail []bool) (topology.NodeID, []topology.LinkID) {
+	t := f.topo
+	for i := range f.visited {
+		f.visited[i] = false
+		f.via[i] = -1
+	}
+	f.queue = f.queue[:0]
+	f.visited[start] = true
+	f.queue = append(f.queue, start)
+	for qi := 0; qi < len(f.queue); qi++ {
+		v := f.queue[qi]
+		links := t.Out(v)
+		for li := 0; li < len(links); li++ {
+			id := links[li]
+			if f.reverse {
+				id = links[len(links)-1-li]
+			}
+			if !avail[id] {
+				continue
+			}
+			w := t.Link(id).Dst
+			if f.visited[w] {
+				continue
+			}
+			f.visited[w] = true
+			f.via[w] = id
+			if t.IsNode(w) {
+				if f.members != nil && !f.members[w] {
+					// Non-member accelerator: not a candidate child, but
+					// its integrated router forwards in direct networks.
+					if t.Class() == topology.Direct {
+						f.queue = append(f.queue, w)
+					}
+					continue
+				}
+				if !inTree[w] {
+					return topology.NodeID(w), f.pathTo(w, start)
+				}
+				continue // cannot relay through a participating end node
+			}
+			f.queue = append(f.queue, w)
+		}
+	}
+	return -1, nil
+}
+
+// pathTo reconstructs the link path start -> v from the via array.
+func (f *pathFinder) pathTo(v, start int) []topology.LinkID {
+	var rev []topology.LinkID
+	for u := v; u != start; u = f.topo.Link(f.via[u]).Src {
+		rev = append(rev, f.via[u])
+	}
+	path := make([]topology.LinkID, len(rev))
+	for i, id := range rev {
+		path[len(rev)-1-i] = id
+	}
+	return path
+}

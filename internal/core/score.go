@@ -1,0 +1,22 @@
+package core
+
+import (
+	"math"
+
+	"multitree/internal/collective"
+	"multitree/internal/network"
+)
+
+// scoreSchedule predicts a schedule's completion time with the fluid
+// engine under the Table III configuration — cheap enough (milliseconds)
+// to run at schedule-build time, and exact for the contention-free
+// schedules MultiTree produces. Build's Auto mode uses it to choose
+// between the first-parent and shortest-path tree sets for a given data
+// size.
+func scoreSchedule(s *collective.Schedule) float64 {
+	res, err := network.SimulateFluid(s, network.DefaultConfig())
+	if err != nil {
+		return math.Inf(1)
+	}
+	return float64(res.Cycles)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// This file implements the hybrid-parallel case of §VII-B: "When the
+// parallelism strategy and DNN workload are determined, MULTITREE runs for
+// the nodes that involve all-reduce communication." A subset all-reduce
+// builds one schedule tree per participating node; non-participating nodes
+// take no part in the collective, but in direct networks their integrated
+// routers still forward traffic, so tree edges may pass through them.
+
+// BuildSubsetTrees runs Algorithm 1 restricted to the member nodes (which
+// must contain at least two distinct nodes). The returned trees span the
+// members only.
+func BuildSubsetTrees(topo *topology.Topology, members []topology.NodeID, opts Options) ([]*collective.Tree, error) {
+	n := topo.Nodes()
+	isMember := make([]bool, n)
+	count := 0
+	for _, m := range members {
+		if m < 0 || int(m) >= n {
+			return nil, fmt.Errorf("multitree: member %d out of range", m)
+		}
+		if !isMember[m] {
+			isMember[m] = true
+			count++
+		}
+	}
+	if count < 2 {
+		return nil, fmt.Errorf("multitree: subset needs at least 2 distinct members, have %d", count)
+	}
+	if count == n {
+		return BuildTrees(topo, opts) // full membership: the standard path
+	}
+
+	roots := make([]topology.NodeID, 0, count)
+	for node := 0; node < n; node++ {
+		if isMember[node] {
+			roots = append(roots, topology.NodeID(node))
+		}
+	}
+	trees := make([]*collective.Tree, count)
+	inTree := make([][]bool, count)
+	membersIn := make([]int, count)
+	parents := make([][]topology.NodeID, count)
+	pending := make([][]topology.NodeID, count)
+	for i, root := range roots {
+		trees[i] = collective.NewTree(i, root, n)
+		trees[i].Members = isMember
+		inTree[i] = make([]bool, n)
+		inTree[i][root] = true
+		membersIn[i] = 1
+		parents[i] = []topology.NodeID{root}
+	}
+
+	avail := make([]bool, len(topo.Links()))
+	alloc := newPathFinder(topo, opts.ReverseNeighborOrder)
+	alloc.members = isMember
+
+	for t := 1; ; t++ {
+		done := true
+		for _, m := range membersIn {
+			if m != count {
+				done = false
+				break
+			}
+		}
+		if done {
+			return trees, nil
+		}
+		if t > 4*len(topo.Links())+4 {
+			return nil, fmt.Errorf("multitree: subset construction did not converge on %s", topo.Name())
+		}
+		for i := range avail {
+			avail[i] = true
+		}
+		added := 0
+		for {
+			progress := false
+			for ti := range trees {
+				if membersIn[ti] == count {
+					continue
+				}
+				if child, parent, path := alloc.find(parents[ti], inTree[ti], avail); child >= 0 {
+					for _, l := range path {
+						avail[l] = false
+					}
+					trees[ti].SetEdge(parent, child, t)
+					trees[ti].Path[child] = path
+					inTree[ti][child] = true
+					membersIn[ti]++
+					pending[ti] = append(pending[ti], child)
+					added++
+					progress = true
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+		if added == 0 {
+			return nil, fmt.Errorf("multitree: subset members unreachable at step %d on %s", t, topo.Name())
+		}
+		for ti := range trees {
+			parents[ti] = append(parents[ti], pending[ti]...)
+			pending[ti] = pending[ti][:0]
+		}
+	}
+}
+
+// BuildSubset lowers the subset trees into an executable schedule; flow i
+// is rooted at the i-th member (in ascending node order).
+func BuildSubset(topo *topology.Topology, members []topology.NodeID, elems int, opts Options) (*collective.Schedule, error) {
+	trees, err := BuildSubsetTrees(topo, members, opts)
+	if err != nil {
+		return nil, err
+	}
+	return collective.TreesToSchedule(Algorithm+"-subset", topo, elems, trees)
+}
+
+// VerifySubsetAllReduce executes a subset schedule and checks that every
+// member holds the sum over the members' inputs while every non-member's
+// buffer is untouched.
+func VerifySubsetAllReduce(s *collective.Schedule, members []topology.NodeID, inputs [][]float32) error {
+	isMember := make([]bool, s.Topo.Nodes())
+	for _, m := range members {
+		isMember[m] = true
+	}
+	out, err := collective.Execute(s, inputs)
+	if err != nil {
+		return err
+	}
+	want := make([]float64, s.Elems)
+	for node, v := range inputs {
+		if !isMember[node] {
+			continue
+		}
+		for i, x := range v {
+			want[i] += float64(x)
+		}
+	}
+	for node := range out {
+		if !isMember[node] {
+			for i := range out[node] {
+				if out[node][i] != inputs[node][i] {
+					return fmt.Errorf("core: subset all-reduce disturbed non-member %d", node)
+				}
+			}
+			continue
+		}
+		for i, got := range out[node] {
+			if diff := math.Abs(float64(got) - want[i]); diff > 1e-3*math.Max(1, math.Abs(want[i])) {
+				return fmt.Errorf("core: subset all-reduce: member %d elem %d = %v, want %v",
+					node, i, got, want[i])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// TestSubsetAllReduceCorrect: an all-reduce over half the torus reaches
+// exactly the members and leaves bystanders untouched.
+func TestSubsetAllReduceCorrect(t *testing.T) {
+	topo := topology.Torus(4, 4, cfg())
+	// Every other node participates (a checkerboard of the 2D grid, the
+	// kind of slice hybrid parallelism produces).
+	var members []topology.NodeID
+	for n := 0; n < topo.Nodes(); n += 2 {
+		members = append(members, topology.NodeID(n))
+	}
+	s, err := BuildSubset(topo, members, 640, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Flows) != len(members) {
+		t.Errorf("%d flows, want %d", len(s.Flows), len(members))
+	}
+	in := collective.RampInputs(topo.Nodes(), 640)
+	if err := VerifySubsetAllReduce(s, members, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetContentionFree: the per-step allocation discipline holds for
+// subsets too.
+func TestSubsetContentionFree(t *testing.T) {
+	topo := topology.Torus(4, 4, cfg())
+	members := []topology.NodeID{0, 3, 5, 10, 12, 15}
+	s, err := BuildSubset(topo, members, 4096, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := collective.Analyze(s); !a.ContentionFree() {
+		t.Errorf("subset schedule contends: %v", a)
+	}
+}
+
+// TestSubsetOnIndirect: members spread across switches of a fat tree.
+func TestSubsetOnIndirect(t *testing.T) {
+	topo := topology.FatTree(4, 4, 4, cfg())
+	members := []topology.NodeID{1, 2, 6, 9, 13, 14}
+	s, err := BuildSubset(topo, members, 999, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := collective.RampInputs(topo.Nodes(), 999)
+	if err := VerifySubsetAllReduce(s, members, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSubsetThroughBystanders: two members at opposite corners of a mesh
+// must connect through non-member routers.
+func TestSubsetThroughBystanders(t *testing.T) {
+	topo := topology.Mesh(4, 4, cfg())
+	members := []topology.NodeID{0, 15}
+	s, err := BuildSubset(topo, members, 100, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxHops := 0
+	for i := range s.Transfers {
+		if h := len(s.PathOf(&s.Transfers[i])); h > maxHops {
+			maxHops = h
+		}
+	}
+	if maxHops < 6 {
+		t.Errorf("corner-to-corner path spans %d links, want 6", maxHops)
+	}
+	in := collective.RampInputs(topo.Nodes(), 100)
+	if err := VerifySubsetAllReduce(s, members, in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetErrors(t *testing.T) {
+	topo := topology.Torus(4, 4, cfg())
+	if _, err := BuildSubset(topo, []topology.NodeID{3}, 100, Options{}); err == nil {
+		t.Error("single-member subset accepted")
+	}
+	if _, err := BuildSubset(topo, []topology.NodeID{1, 99}, 100, Options{}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	// Duplicates collapse.
+	if _, err := BuildSubset(topo, []topology.NodeID{1, 1, 1}, 100, Options{}); err == nil {
+		t.Error("duplicate single member accepted")
+	}
+}
+
+// TestSubsetFullMembershipDelegates: passing every node gives the standard
+// build.
+func TestSubsetFullMembershipDelegates(t *testing.T) {
+	topo := topology.Torus(4, 4, cfg())
+	var all []topology.NodeID
+	for n := 0; n < topo.Nodes(); n++ {
+		all = append(all, topology.NodeID(n))
+	}
+	trees, err := BuildSubsetTrees(topo, all, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != topo.Nodes() || trees[0].Members != nil {
+		t.Errorf("full membership did not delegate to the standard path")
+	}
+}

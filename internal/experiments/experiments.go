@@ -1,0 +1,331 @@
+// Package experiments regenerates the paper's evaluation artifacts: the
+// all-reduce bandwidth sweeps of Fig. 9, the weak-scaling study of
+// Fig. 10, the DNN training breakdowns of Fig. 11, the algorithm
+// comparison of Table I, and the head-flit overhead curve of Fig. 2. The
+// cmd/ tools print these as CSV; bench_test.go reports them as benchmark
+// metrics. Both call into this package so the numbers always agree.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/dbtree"
+	"multitree/internal/hdrm"
+	"multitree/internal/network"
+	"multitree/internal/ring"
+	"multitree/internal/ring2d"
+	"multitree/internal/topology"
+)
+
+// Engine selects the network simulation granularity.
+type Engine int
+
+const (
+	// Fluid is the fast flow-level engine: exact for contention-free
+	// schedules (Ring, 2D-Ring on Torus, HDRM, MultiTree) and used for the
+	// large scaling and training studies.
+	Fluid Engine = iota
+	// Packet is the packet-granularity reference engine, needed where
+	// congestion trees matter (DBTree anywhere, 2D-Ring on Mesh).
+	Packet
+)
+
+func (e Engine) String() string {
+	if e == Packet {
+		return "packet"
+	}
+	return "fluid"
+}
+
+func (e Engine) run(s *collective.Schedule, cfg network.Config) (*network.Result, error) {
+	if e == Packet {
+		return network.SimulatePackets(s, cfg)
+	}
+	return network.SimulateFluid(s, cfg)
+}
+
+// AlgSpec names an algorithm variant in the evaluation: the four baselines
+// plus MultiTree with and without message-based flow control.
+type AlgSpec struct {
+	Name string
+	// Msg enables message-based flow control (MULTITREE-MSG).
+	Msg bool
+}
+
+// Algorithms returns the algorithm variants applicable to a topology, in
+// the paper's plotting order.
+func Algorithms(topo *topology.Topology) []AlgSpec {
+	specs := []AlgSpec{{Name: ring.Algorithm}, {Name: dbtree.Algorithm}}
+	if nx, _ := topo.GridDims(); nx > 0 {
+		specs = append(specs, AlgSpec{Name: ring2d.Algorithm})
+	}
+	if n := topo.Nodes(); n&(n-1) == 0 && topo.Class() == topology.Indirect {
+		specs = append(specs, AlgSpec{Name: hdrm.Algorithm})
+	}
+	specs = append(specs,
+		AlgSpec{Name: core.Algorithm},
+		AlgSpec{Name: core.Algorithm + "-msg", Msg: true},
+	)
+	return specs
+}
+
+// BuildSchedule constructs the named algorithm's schedule (the "-msg"
+// suffix shares the MultiTree schedule).
+func BuildSchedule(topo *topology.Topology, name string, elems int) (*collective.Schedule, error) {
+	switch name {
+	case ring.Algorithm:
+		return ring.Build(topo, elems), nil
+	case dbtree.Algorithm:
+		return dbtree.Build(topo, elems, 0)
+	case ring2d.Algorithm:
+		return ring2d.Build(topo, elems)
+	case hdrm.Algorithm:
+		return hdrm.Build(topo, elems)
+	case core.Algorithm, core.Algorithm + "-msg":
+		return core.Build(topo, elems, core.DefaultOptions(topo))
+	}
+	return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+}
+
+// AllReducePoint is one measurement of Fig. 9/10.
+type AllReducePoint struct {
+	Topology  string
+	Algorithm string
+	DataBytes int64
+	Cycles    uint64
+	// BandwidthGBps is data size / time, the §VI-A metric (1 B/cycle =
+	// 1 GB/s at the 1 GHz router clock).
+	BandwidthGBps float64
+}
+
+// MeasureAllReduce simulates one (topology, algorithm, size) point.
+func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine) (AllReducePoint, error) {
+	elems := int(dataBytes / collective.WordSize)
+	s, err := BuildSchedule(topo, alg.Name, elems)
+	if err != nil {
+		return AllReducePoint{}, err
+	}
+	cfg := network.DefaultConfig()
+	cfg.MessageBased = alg.Msg
+	res, err := engine.run(s, cfg)
+	if err != nil {
+		return AllReducePoint{}, err
+	}
+	return AllReducePoint{
+		Topology:      topo.Name(),
+		Algorithm:     alg.Name,
+		DataBytes:     dataBytes,
+		Cycles:        uint64(res.Cycles),
+		BandwidthGBps: res.BandwidthBytesPerCycle(dataBytes),
+	}, nil
+}
+
+// Fig9Sizes returns the §VI-A sweep: 32 KiB doubling to maxBytes
+// (64 MiB in the paper).
+func Fig9Sizes(maxBytes int64) []int64 {
+	var out []int64
+	for b := int64(32 << 10); b <= maxBytes; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Fig9 sweeps every applicable algorithm over the data sizes on one
+// topology, emitting each point to the callback as it completes.
+func Fig9(topo *topology.Topology, sizes []int64, engine Engine, emit func(AllReducePoint)) error {
+	points, err := Fig9Parallel(topo, sizes, engine, 1)
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		emit(p)
+	}
+	return nil
+}
+
+// Fig9Parallel runs the same sweep across a worker pool (simulations of
+// different points are independent; topologies are safe for concurrent
+// reads). Results come back in deterministic (algorithm, size) order
+// regardless of completion order.
+func Fig9Parallel(topo *topology.Topology, sizes []int64, engine Engine, workers int) ([]AllReducePoint, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	type job struct {
+		idx   int
+		alg   AlgSpec
+		bytes int64
+	}
+	var jobs []job
+	for _, alg := range Algorithms(topo) {
+		for _, bytes := range sizes {
+			jobs = append(jobs, job{idx: len(jobs), alg: alg, bytes: bytes})
+		}
+	}
+	points := make([]AllReducePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				p, err := MeasureAllReduce(topo, j.alg, j.bytes, engine)
+				if err != nil {
+					errs[j.idx] = fmt.Errorf("%s/%s/%d: %w", topo.Name(), j.alg.Name, j.bytes, err)
+					continue
+				}
+				points[j.idx] = p
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return points, nil
+}
+
+// Fig10Point is one weak-scaling measurement: all-reduce time for
+// 375*N KiB on an N-node torus, plus the value normalized to 16-node Ring
+// (the figure's y-axis).
+type Fig10Point struct {
+	Nodes      int
+	Algorithm  string
+	DataBytes  int64
+	Cycles     uint64
+	Normalized float64 // cycles / cycles(ring, 16 nodes)
+}
+
+// Fig10 runs the weak-scaling study over the given node counts (the paper
+// uses 16..256 on Torus) with Ring, 2D-Ring and MULTITREE-MSG.
+func Fig10(torusFor func(int) (*topology.Topology, error), nodeCounts []int) ([]Fig10Point, error) {
+	algs := []AlgSpec{
+		{Name: ring.Algorithm},
+		{Name: ring2d.Algorithm},
+		{Name: core.Algorithm + "-msg", Msg: true},
+	}
+	var out []Fig10Point
+	var base float64
+	for _, n := range nodeCounts {
+		topo, err := torusFor(n)
+		if err != nil {
+			return nil, err
+		}
+		dataBytes := int64(375*n) << 10
+		for _, alg := range algs {
+			p, err := MeasureAllReduce(topo, alg, dataBytes, Fluid)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %d/%s: %w", n, alg.Name, err)
+			}
+			if alg.Name == ring.Algorithm && n == nodeCounts[0] {
+				base = float64(p.Cycles)
+			}
+			out = append(out, Fig10Point{
+				Nodes: n, Algorithm: alg.Name, DataBytes: dataBytes,
+				Cycles: p.Cycles, Normalized: float64(p.Cycles) / base,
+			})
+		}
+	}
+	return out, nil
+}
+
+// StrongScaling runs the §VI-B side experiment: a fixed large problem
+// size across growing node counts. The paper reports "only small
+// variation for each algorithm since they are all contention-free and
+// serialization latency is more dominant for large all-reduce size" —
+// i.e. communication time stays roughly flat (the per-node share shrinks
+// as fast as the node count grows).
+func StrongScaling(torusFor func(int) (*topology.Topology, error), nodeCounts []int, dataBytes int64) ([]Fig10Point, error) {
+	algs := []AlgSpec{
+		{Name: ring.Algorithm},
+		{Name: ring2d.Algorithm},
+		{Name: core.Algorithm + "-msg", Msg: true},
+	}
+	var out []Fig10Point
+	base := map[string]float64{}
+	for _, n := range nodeCounts {
+		topo, err := torusFor(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range algs {
+			p, err := MeasureAllReduce(topo, alg, dataBytes, Fluid)
+			if err != nil {
+				return nil, fmt.Errorf("strong scaling %d/%s: %w", n, alg.Name, err)
+			}
+			if _, ok := base[alg.Name]; !ok {
+				base[alg.Name] = float64(p.Cycles)
+			}
+			out = append(out, Fig10Point{
+				Nodes: n, Algorithm: alg.Name, DataBytes: dataBytes,
+				Cycles: p.Cycles, Normalized: float64(p.Cycles) / base[alg.Name],
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig2Point is one head-flit overhead sample.
+type Fig2Point struct {
+	PayloadBytes int
+	Overhead     float64
+}
+
+// Fig2 returns the packet head-flit bandwidth overhead for payloads of 64
+// to 256 bytes with 16-byte flits (6%-25%).
+func Fig2() []Fig2Point {
+	var out []Fig2Point
+	for p := 64; p <= 256; p += 16 {
+		out = append(out, Fig2Point{PayloadBytes: p, Overhead: network.HeadFlitOverhead(p, 16)})
+	}
+	return out
+}
+
+// Table1Row reproduces Table I for one (algorithm, topology) pair from
+// measured schedule properties rather than assertions.
+type Table1Row struct {
+	Algorithm string
+	Topology  string
+
+	Steps             int
+	BandwidthOverhead float64 // 1.0 = optimal
+	MaxLinkOverlap    int     // 1 = contention-free
+	MaxHops           int
+}
+
+// Table1 analyzes every applicable algorithm on the given topologies.
+func Table1(topos []*topology.Topology, elems int) ([]Table1Row, error) {
+	var out []Table1Row
+	for _, topo := range topos {
+		for _, alg := range Algorithms(topo) {
+			if alg.Msg {
+				continue // flow control does not change the schedule
+			}
+			s, err := BuildSchedule(topo, alg.Name, elems)
+			if err != nil {
+				return nil, err
+			}
+			a := collective.Analyze(s)
+			out = append(out, Table1Row{
+				Algorithm:         alg.Name,
+				Topology:          topo.Name(),
+				Steps:             a.Steps,
+				BandwidthOverhead: a.BandwidthOverhead(),
+				MaxLinkOverlap:    a.MaxLinkOverlap,
+				MaxHops:           a.MaxHops,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,126 @@
+package hdrm
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+func cfg() topology.LinkConfig { return topology.DefaultLinkConfig() }
+
+func TestRejectsNonPowerOfTwo(t *testing.T) {
+	topo := topology.Mesh(3, 3, cfg())
+	if _, err := Build(topo, 100); err == nil {
+		t.Error("9 nodes accepted by halving-doubling")
+	}
+}
+
+// TestLogSteps: halving-doubling finishes in 2*log2(N) steps.
+func TestLogSteps(t *testing.T) {
+	topo := topology.BiGraph(4, 4, cfg()) // 32 nodes
+	s, err := Build(topo, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Steps != 10 {
+		t.Errorf("steps = %d, want 2*log2(32) = 10", s.Steps)
+	}
+}
+
+// TestBandwidthOptimal: total communicated volume is 2(N-1)/N * S per
+// node.
+func TestBandwidthOptimal(t *testing.T) {
+	topo := topology.BiGraph(4, 4, cfg())
+	s, err := Build(topo, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := collective.Analyze(s)
+	if ov := a.BandwidthOverhead(); ov < 0.99 || ov > 1.01 {
+		t.Errorf("bandwidth overhead = %.3f, want 1.0", ov)
+	}
+}
+
+// TestLayerCrossing: with the popcount rank mapping, every communication
+// pair connects an upper-layer node with a lower-layer node (the EFLOPS
+// property that each pair crosses exactly one bipartite link).
+func TestLayerCrossing(t *testing.T) {
+	topo := topology.BiGraph(4, 4, cfg())
+	s, err := Build(topo, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Transfers {
+		tr := &s.Transfers[i]
+		if tr.Src%2 == tr.Dst%2 {
+			t.Fatalf("transfer %d connects same-layer nodes %d and %d", i, tr.Src, tr.Dst)
+		}
+	}
+}
+
+// TestContentionFreeOnBiGraph: after the slot refinement no two same-step
+// transfers share an inter-switch link.
+func TestContentionFreeOnBiGraph(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		topology.BiGraph(4, 4, cfg()),
+		topology.BiGraph(8, 4, cfg()),
+	} {
+		s, err := Build(topo, 1<<14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := collective.Analyze(s); !a.ContentionFree() {
+			t.Errorf("%s: hdrm contended (overlap %d)", topo.Name(), a.MaxLinkOverlap)
+		}
+	}
+}
+
+// TestPopcountMappingProperty: flipping any single bit of a rank flips the
+// popcount parity — the invariant the layer split relies on.
+func TestPopcountMappingProperty(t *testing.T) {
+	f := func(r uint8, k uint8) bool {
+		bit := uint(1) << (k % 8)
+		a := bits.OnesCount(uint(r)) % 2
+		b := bits.OnesCount(uint(r)^bit) % 2
+		return a != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCorrectnessProperty covers sizes including ones not divisible by N.
+func TestCorrectnessProperty(t *testing.T) {
+	topo := topology.BiGraph(4, 4, cfg())
+	f := func(e uint16) bool {
+		elems := 1 + int(e)%4000
+		s, err := Build(topo, elems)
+		if err != nil {
+			return false
+		}
+		return collective.VerifyAllReduce(s, collective.RampInputs(topo.Nodes(), elems)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorksOnOtherPowerOfTwoTopologies: HDRM degrades to identity-mapped
+// halving-doubling elsewhere but stays correct.
+func TestWorksOnOtherPowerOfTwoTopologies(t *testing.T) {
+	for _, topo := range []*topology.Topology{
+		topology.Torus(4, 4, cfg()),
+		topology.FatTree(4, 4, 4, cfg()),
+	} {
+		s, err := Build(topo, 777)
+		if err != nil {
+			t.Fatalf("%s: %v", topo.Name(), err)
+		}
+		if err := collective.VerifyAllReduce(s, collective.RampInputs(topo.Nodes(), 777)); err != nil {
+			t.Errorf("%s: %v", topo.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package model defines the DNN workloads of the paper's evaluation
+// (§V-B): AlexNet, AlphaGoZero, FasterRCNN, GoogLeNet, NCF, ResNet50 and
+// Transformer, as per-layer shape tables in the style of SCALE-Sim
+// topology files. Layer shapes follow the published architectures; like
+// the SCALE-Sim configurations the paper used, the CNN tables list the
+// convolutional stacks (SCALE-Sim models convolution/GEMM layers), and the
+// recommendation/attention models list their GEMM and embedding layers.
+// Parameter counts determine the all-reduce gradient volume; layer shapes
+// determine the systolic-array compute cycles in internal/accel.
+package model
+
+import "fmt"
+
+// Kind classifies a layer for the compute model.
+type Kind int
+
+const (
+	// Conv is a 2D convolution: input HxWxC, M filters of RxSxC, given
+	// stride.
+	Conv Kind = iota
+	// FC is a fully connected layer / GEMM: C inputs, M outputs per
+	// sample (optionally with Seq positions per sample).
+	FC
+	// Embedding is a lookup table of Vocab x M; negligible compute, full
+	// gradient exchanged (dense-gradient assumption).
+	Embedding
+	// Attention is a scaled dot-product attention block over Seq
+	// positions with M-dimensional heads; its compute is the score and
+	// context GEMMs, and it has no parameters of its own (projections are
+	// separate FC layers).
+	Attention
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Conv:
+		return "conv"
+	case FC:
+		return "fc"
+	case Embedding:
+		return "embedding"
+	case Attention:
+		return "attention"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Layer is one parameterized stage of a network.
+type Layer struct {
+	Name string
+	Kind Kind
+
+	// Conv fields: input H x W x C, M filters of R x S, stride.
+	H, W, C, M, R, S int
+	Stride           int
+
+	// FC / Attention: C inputs -> M outputs, applied Seq times per sample
+	// (Seq = 0 means once per sample).
+	Seq int
+
+	// Embedding: Vocab rows of M features.
+	Vocab int
+}
+
+// Network is a named list of layers.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// OutDims returns a conv layer's output spatial dimensions (no padding is
+// modeled; SAME-padded architectures are encoded with their effective
+// output sizes via stride-1 3x3 kernels on pre-padded inputs).
+func (l Layer) OutDims() (ho, wo int) {
+	if l.Kind != Conv {
+		return 1, 1
+	}
+	s := l.Stride
+	if s == 0 {
+		s = 1
+	}
+	ho = (l.H-l.R)/s + 1
+	wo = (l.W-l.S)/s + 1
+	if ho < 1 {
+		ho = 1
+	}
+	if wo < 1 {
+		wo = 1
+	}
+	return ho, wo
+}
+
+// Params returns the layer's trainable parameter count (weights + bias).
+func (l Layer) Params() int64 {
+	switch l.Kind {
+	case Conv:
+		return int64(l.R)*int64(l.S)*int64(l.C)*int64(l.M) + int64(l.M)
+	case FC:
+		return int64(l.C)*int64(l.M) + int64(l.M)
+	case Embedding:
+		return int64(l.Vocab) * int64(l.M)
+	default:
+		return 0
+	}
+}
+
+// MACs returns the forward multiply-accumulate count for one sample.
+func (l Layer) MACs() int64 {
+	switch l.Kind {
+	case Conv:
+		ho, wo := l.OutDims()
+		return int64(ho) * int64(wo) * int64(l.M) * int64(l.R) * int64(l.S) * int64(l.C)
+	case FC:
+		seq := l.Seq
+		if seq == 0 {
+			seq = 1
+		}
+		return int64(seq) * int64(l.C) * int64(l.M)
+	case Attention:
+		// QK^T scores and score*V context: 2 * Seq^2 * M.
+		return 2 * int64(l.Seq) * int64(l.Seq) * int64(l.M)
+	default:
+		return 0
+	}
+}
+
+// Params returns the network's total trainable parameter count.
+func (n Network) Params() int64 {
+	var sum int64
+	for _, l := range n.Layers {
+		sum += l.Params()
+	}
+	return sum
+}
+
+// GradientBytes returns the all-reduce volume of one iteration at 32-bit
+// precision.
+func (n Network) GradientBytes() int64 { return n.Params() * 4 }
+
+// MACs returns the network's forward MAC count for one sample.
+func (n Network) MACs() int64 {
+	var sum int64
+	for _, l := range n.Layers {
+		sum += l.MACs()
+	}
+	return sum
+}
+
+// Validate sanity-checks layer shapes.
+func (n Network) Validate() error {
+	if len(n.Layers) == 0 {
+		return fmt.Errorf("model %s: no layers", n.Name)
+	}
+	for i, l := range n.Layers {
+		switch l.Kind {
+		case Conv:
+			if l.H < l.R || l.W < l.S || l.C < 1 || l.M < 1 || l.R < 1 || l.S < 1 {
+				return fmt.Errorf("model %s: conv layer %d (%s) has bad shape %+v", n.Name, i, l.Name, l)
+			}
+		case FC:
+			if l.C < 1 || l.M < 1 {
+				return fmt.Errorf("model %s: fc layer %d (%s) has bad shape", n.Name, i, l.Name)
+			}
+		case Embedding:
+			if l.Vocab < 1 || l.M < 1 {
+				return fmt.Errorf("model %s: embedding layer %d (%s) has bad shape", n.Name, i, l.Name)
+			}
+		case Attention:
+			if l.Seq < 1 || l.M < 1 {
+				return fmt.Errorf("model %s: attention layer %d (%s) has bad shape", n.Name, i, l.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZooValidates(t *testing.T) {
+	for _, n := range Zoo() {
+		if err := n.Validate(); err != nil {
+			t.Errorf("%s: %v", n.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	n, err := ByName("ResNet50")
+	if err != nil || n.Name != "ResNet50" {
+		t.Fatalf("ByName(ResNet50) = %v, %v", n.Name, err)
+	}
+	if _, err := ByName("VGG19"); err == nil {
+		t.Error("unknown model did not error")
+	}
+}
+
+// TestParameterCounts pins each workload's parameter count to the
+// published architecture's ballpark (the all-reduce volume driver).
+func TestParameterCounts(t *testing.T) {
+	want := map[string][2]int64{
+		"AlexNet":     {3_500_000, 4_200_000},   // conv stack only (SCALE-Sim style)
+		"AlphaGoZero": {21_000_000, 25_000_000}, // 20-block residual tower
+		"FasterRCNN":  {16_000_000, 18_500_000}, // VGG-16 trunk + RPN
+		"GoogLeNet":   {6_500_000, 7_500_000},
+		"NCF":         {28_000_000, 31_000_000},
+		"ResNet50":    {24_000_000, 27_000_000},
+		"Transformer": {34_000_000, 37_000_000}, // 6-layer base encoder
+	}
+	for _, n := range Zoo() {
+		r, ok := want[n.Name]
+		if !ok {
+			t.Errorf("no expectation for %s", n.Name)
+			continue
+		}
+		if p := n.Params(); p < r[0] || p > r[1] {
+			t.Errorf("%s has %d params, want %d..%d", n.Name, p, r[0], r[1])
+		}
+	}
+}
+
+// TestMACCounts sanity-checks forward compute against published numbers
+// (per sample, multiply-accumulates).
+func TestMACCounts(t *testing.T) {
+	want := map[string][2]int64{
+		"AlexNet":  {600e6, 1.3e9}, // ~0.7 GMACs convs
+		"ResNet50": {3.0e9, 4.5e9}, // ~3.8 GMACs
+	}
+	for name, r := range want {
+		n, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m := n.MACs(); m < r[0] || m > r[1] {
+			t.Errorf("%s: %d MACs/sample, want %d..%d", name, m, r[0], r[1])
+		}
+	}
+}
+
+func TestOutDims(t *testing.T) {
+	l := Layer{Kind: Conv, H: 227, W: 227, R: 11, S: 11, Stride: 4, C: 3, M: 96}
+	ho, wo := l.OutDims()
+	if ho != 55 || wo != 55 {
+		t.Errorf("AlexNet conv1 output = %dx%d, want 55x55", ho, wo)
+	}
+}
+
+// TestParamsNonNegative is a property over arbitrary layer shapes.
+func TestParamsNonNegative(t *testing.T) {
+	f := func(h, w, c, m, r, s uint8) bool {
+		l := Layer{Kind: Conv, H: int(h), W: int(w), C: int(c), M: int(m), R: int(r), S: int(s), Stride: 1}
+		return l.Params() >= 0 && l.MACs() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGradientBytesIs4xParams(t *testing.T) {
+	n := GoogLeNet()
+	if n.GradientBytes() != 4*n.Params() {
+		t.Error("gradient bytes != 4 * params")
+	}
+}
+
+func TestValidateRejectsBadShapes(t *testing.T) {
+	n := Network{Name: "bad", Layers: []Layer{{Kind: Conv, H: 2, W: 2, R: 3, S: 3, C: 1, M: 1}}}
+	if err := n.Validate(); err == nil {
+		t.Error("kernel larger than input validated")
+	}
+	if err := (Network{Name: "empty"}).Validate(); err == nil {
+		t.Error("empty network validated")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Conv.String() != "conv" || Embedding.String() != "embedding" {
+		t.Error("Kind.String broken")
+	}
+}

@@ -1,0 +1,206 @@
+package model
+
+import "fmt"
+
+// Zoo returns the seven evaluation workloads of §V-B in the paper's order.
+func Zoo() []Network {
+	return []Network{
+		AlexNet(),
+		AlphaGoZero(),
+		FasterRCNN(),
+		GoogLeNet(),
+		NCF(),
+		ResNet50(),
+		Transformer(),
+	}
+}
+
+// ByName returns the named workload.
+func ByName(name string) (Network, error) {
+	for _, n := range Zoo() {
+		if n.Name == name {
+			return n, nil
+		}
+	}
+	return Network{}, fmt.Errorf("model: unknown network %q", name)
+}
+
+func conv(name string, h, w, c, m, r, s, stride int) Layer {
+	return Layer{Name: name, Kind: Conv, H: h, W: w, C: c, M: m, R: r, S: s, Stride: stride}
+}
+
+func fc(name string, in, out int) Layer {
+	return Layer{Name: name, Kind: FC, C: in, M: out}
+}
+
+// AlexNet returns the convolutional stack of Krizhevsky et al., as in the
+// SCALE-Sim topology file (convolution layers only).
+func AlexNet() Network {
+	return Network{Name: "AlexNet", Layers: []Layer{
+		conv("conv1", 227, 227, 3, 96, 11, 11, 4),
+		conv("conv2", 31, 31, 96, 256, 5, 5, 1),
+		conv("conv3", 15, 15, 256, 384, 3, 3, 1),
+		conv("conv4", 15, 15, 384, 384, 3, 3, 1),
+		conv("conv5", 15, 15, 384, 256, 3, 3, 1),
+	}}
+}
+
+// AlphaGoZero returns the 20-block residual tower of Silver et al. on a
+// 19x19 board (inputs padded to 21x21 for the SAME 3x3 convolutions).
+func AlphaGoZero() Network {
+	layers := []Layer{conv("conv-in", 21, 21, 17, 256, 3, 3, 1)}
+	for b := 1; b <= 19; b++ {
+		layers = append(layers,
+			conv(fmt.Sprintf("res%d-a", b), 21, 21, 256, 256, 3, 3, 1),
+			conv(fmt.Sprintf("res%d-b", b), 21, 21, 256, 256, 3, 3, 1),
+		)
+	}
+	layers = append(layers,
+		conv("policy-conv", 19, 19, 256, 2, 1, 1, 1),
+		fc("policy-fc", 722, 362),
+		conv("value-conv", 19, 19, 256, 1, 1, 1, 1),
+		fc("value-fc1", 361, 256),
+		fc("value-fc2", 256, 1),
+	)
+	return Network{Name: "AlphaGoZero", Layers: layers}
+}
+
+// FasterRCNN returns the VGG-16 backbone plus region proposal network of
+// Ren et al. (convolutional stages, as in SCALE-Sim's configuration; the
+// per-region detection head is not part of the gradient-heavy trunk).
+func FasterRCNN() Network {
+	var layers []Layer
+	stage := func(n, h, c, m, count int) {
+		for i := 1; i <= count; i++ {
+			in := c
+			if i > 1 {
+				in = m
+			}
+			layers = append(layers, conv(fmt.Sprintf("conv%d_%d", n, i), h+2, h+2, in, m, 3, 3, 1))
+		}
+	}
+	stage(1, 224, 3, 64, 2)
+	stage(2, 112, 64, 128, 2)
+	stage(3, 56, 128, 256, 3)
+	stage(4, 28, 256, 512, 3)
+	stage(5, 14, 512, 512, 3)
+	layers = append(layers,
+		conv("rpn-conv", 16, 16, 512, 512, 3, 3, 1),
+		conv("rpn-cls", 14, 14, 512, 18, 1, 1, 1),
+		conv("rpn-bbox", 14, 14, 512, 36, 1, 1, 1),
+	)
+	return Network{Name: "FasterRCNN", Layers: layers}
+}
+
+// GoogLeNet returns the 22-layer inception network of Szegedy et al.
+// (stem, nine inception modules, classifier FC).
+func GoogLeNet() Network {
+	layers := []Layer{
+		conv("conv1", 229, 229, 3, 64, 7, 7, 2),
+		conv("conv2-reduce", 56, 56, 64, 64, 1, 1, 1),
+		conv("conv2", 58, 58, 64, 192, 3, 3, 1),
+	}
+	inception := func(name string, hw, in, c1, c3r, c3, c5r, c5, pp int) {
+		layers = append(layers,
+			conv(name+"-1x1", hw, hw, in, c1, 1, 1, 1),
+			conv(name+"-3x3r", hw, hw, in, c3r, 1, 1, 1),
+			conv(name+"-3x3", hw+2, hw+2, c3r, c3, 3, 3, 1),
+			conv(name+"-5x5r", hw, hw, in, c5r, 1, 1, 1),
+			conv(name+"-5x5", hw+4, hw+4, c5r, c5, 5, 5, 1),
+			conv(name+"-pool", hw, hw, in, pp, 1, 1, 1),
+		)
+	}
+	inception("3a", 28, 192, 64, 96, 128, 16, 32, 32)
+	inception("3b", 28, 256, 128, 128, 192, 32, 96, 64)
+	inception("4a", 14, 480, 192, 96, 208, 16, 48, 64)
+	inception("4b", 14, 512, 160, 112, 224, 24, 64, 64)
+	inception("4c", 14, 512, 128, 128, 256, 24, 64, 64)
+	inception("4d", 14, 512, 112, 144, 288, 32, 64, 64)
+	inception("4e", 14, 528, 256, 160, 320, 32, 128, 128)
+	inception("5a", 7, 832, 256, 160, 320, 32, 128, 128)
+	inception("5b", 7, 832, 384, 192, 384, 48, 128, 128)
+	layers = append(layers, fc("classifier", 1024, 1000))
+	return Network{Name: "GoogLeNet", Layers: layers}
+}
+
+// NCF returns the neural collaborative filtering recommender of He et al.:
+// GMF and MLP embedding tables plus the MLP tower. Embedding gradients are
+// exchanged densely, which makes NCF communication-dominated exactly as in
+// the paper's breakdown.
+func NCF() Network {
+	return Network{Name: "NCF", Layers: []Layer{
+		{Name: "gmf-user-embed", Kind: Embedding, Vocab: 200000, M: 64},
+		{Name: "gmf-item-embed", Kind: Embedding, Vocab: 30000, M: 64},
+		{Name: "mlp-user-embed", Kind: Embedding, Vocab: 200000, M: 64},
+		{Name: "mlp-item-embed", Kind: Embedding, Vocab: 30000, M: 64},
+		fc("mlp-fc1", 128, 256),
+		fc("mlp-fc2", 256, 128),
+		fc("mlp-fc3", 128, 64),
+		fc("predict", 128, 1),
+	}}
+}
+
+// ResNet50 returns the 50-layer residual network of He et al.
+// (convolutional trunk plus classifier).
+func ResNet50() Network {
+	layers := []Layer{conv("conv1", 229, 229, 3, 64, 7, 7, 2)}
+	bottleneck := func(stage, block, hw, in, mid, out int) {
+		p := fmt.Sprintf("s%d-b%d", stage, block)
+		layers = append(layers,
+			conv(p+"-1x1a", hw, hw, in, mid, 1, 1, 1),
+			conv(p+"-3x3", hw+2, hw+2, mid, mid, 3, 3, 1),
+			conv(p+"-1x1b", hw, hw, mid, out, 1, 1, 1),
+		)
+		if block == 1 {
+			layers = append(layers, conv(p+"-proj", hw, hw, in, out, 1, 1, 1))
+		}
+	}
+	cfgs := []struct {
+		stage, blocks, hw, in, mid, out int
+	}{
+		{2, 3, 56, 64, 64, 256},
+		{3, 4, 28, 256, 128, 512},
+		{4, 6, 14, 512, 256, 1024},
+		{5, 3, 7, 1024, 512, 2048},
+	}
+	for _, c := range cfgs {
+		in := c.in
+		for b := 1; b <= c.blocks; b++ {
+			bottleneck(c.stage, b, c.hw, in, c.mid, c.out)
+			in = c.out
+		}
+	}
+	layers = append(layers, fc("classifier", 2048, 1000))
+	return Network{Name: "ResNet50", Layers: layers}
+}
+
+// Transformer returns a 6-layer base Transformer encoder (Vaswani et al.)
+// at d_model 512 over 64-token sequences, plus the token embedding.
+func Transformer() Network {
+	const (
+		dModel = 512
+		dFF    = 2048
+		seq    = 64
+		vocab  = 32000
+		blocks = 6
+	)
+	layers := []Layer{{Name: "tok-embed", Kind: Embedding, Vocab: vocab, M: dModel}}
+	for b := 1; b <= blocks; b++ {
+		p := fmt.Sprintf("enc%d", b)
+		proj := func(name string, in, out int) Layer {
+			l := fc(p+"-"+name, in, out)
+			l.Seq = seq
+			return l
+		}
+		layers = append(layers,
+			proj("wq", dModel, dModel),
+			proj("wk", dModel, dModel),
+			proj("wv", dModel, dModel),
+			Layer{Name: p + "-attn", Kind: Attention, Seq: seq, M: dModel},
+			proj("wo", dModel, dModel),
+			proj("ff1", dModel, dFF),
+			proj("ff2", dFF, dModel),
+		)
+	}
+	return Network{Name: "Transformer", Layers: layers}
+}

@@ -1,0 +1,124 @@
+package network_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/network"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+// TestEnergyMessageBasedSaves: the co-designed flow control cuts both
+// flit count (head flits) and routing/arbitration events, so its total
+// energy is strictly lower for big gradients.
+func TestEnergyMessageBasedSaves(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, (4<<20)/4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := network.DefaultEnergyModel()
+	pkt, err := network.EstimateEnergy(s, network.DefaultConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := network.EstimateEnergy(s, network.MessageConfig(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.TotalPJ() >= pkt.TotalPJ() {
+		t.Errorf("message-based energy %.0f pJ not below packet-based %.0f pJ",
+			msg.TotalPJ(), pkt.TotalPJ())
+	}
+	// Arbitration events collapse by roughly the packets-per-message
+	// factor.
+	if msg.Packets*100 > pkt.Packets {
+		t.Errorf("message-based arbitration events %d vs %d: expected >100x reduction",
+			msg.Packets, pkt.Packets)
+	}
+	// Flit savings match the ~6% head-flit overhead.
+	ratio := float64(pkt.Flits) / float64(msg.Flits)
+	if ratio < 1.05 || ratio > 1.08 {
+		t.Errorf("flit ratio %.3f, want ~1.0625", ratio)
+	}
+}
+
+// TestEnergyScalesWithHops: DBTree's multi-hop logical edges cost
+// proportionally more link energy than MultiTree's one-hop edges for the
+// same payload.
+func TestEnergyScalesWithHops(t *testing.T) {
+	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
+	cfg := network.DefaultConfig()
+	m := network.DefaultEnergyModel()
+	mt, err := core.Build(topo, 1<<18, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg := ring.Build(topo, 1<<18)
+	emt, err := network.EstimateEnergy(mt, cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erg, err := network.EstimateEnergy(rg, cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both are bandwidth-optimal and single-hop on a torus: equal flit-hop
+	// counts, within partition rounding.
+	rel := float64(emt.Flits) / float64(erg.Flits)
+	if rel < 0.99 || rel > 1.01 {
+		t.Errorf("multitree/ring flit-hops = %.3f, want ~1 (both 1-hop optimal)", rel)
+	}
+}
+
+// TestEnergyProperty: energy is monotone in data size.
+func TestEnergyProperty(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	cfg := network.DefaultConfig()
+	m := network.DefaultEnergyModel()
+	f := func(a, b uint16) bool {
+		x, y := 64+int(a), 64+int(b)
+		if x > y {
+			x, y = y, x
+		}
+		sx := ring.Build(topo, x)
+		sy := ring.Build(topo, y)
+		ex, err := network.EstimateEnergy(sx, cfg, m)
+		if err != nil {
+			return false
+		}
+		ey, err := network.EstimateEnergy(sy, cfg, m)
+		if err != nil {
+			return false
+		}
+		return ex.TotalPJ() <= ey.TotalPJ()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyBreakdownSums: component energies add up to the total.
+func TestEnergyBreakdownSums(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s := ring.Build(topo, 10000)
+	e, err := network.EstimateEnergy(s, network.DefaultConfig(), network.DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := e.LinkPJ + e.BufferPJ + e.RoutePJ + e.ArbPJ
+	if sum != e.TotalPJ() {
+		t.Errorf("component sum %v != total %v", sum, e.TotalPJ())
+	}
+	if e.TotalUJ() != e.TotalPJ()/1e6 {
+		t.Error("unit conversion broken")
+	}
+	var zero collective.Schedule
+	zero.Topo = topo
+	if ez, err := network.EstimateEnergy(&zero, network.DefaultConfig(), network.DefaultEnergyModel()); err != nil || ez.TotalPJ() != 0 {
+		t.Errorf("empty schedule energy = %v, %v", ez, err)
+	}
+}

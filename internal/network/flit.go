@@ -1,0 +1,176 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// FlitType enumerates the packet and sub-packet flit encodings of
+// Table II. The high bit distinguishes the co-design's sub-packet flits
+// from conventional packet flits.
+type FlitType uint8
+
+const (
+	FlitHead     FlitType = 0b000 // normal packet head
+	FlitBody     FlitType = 0b001 // normal packet body
+	FlitTail     FlitType = 0b010 // normal packet tail
+	FlitHeadTail FlitType = 0b011 // single-flit packet
+
+	FlitSubHead FlitType = 0b100 // head flit of a big-gradient message
+	FlitSubBody FlitType = 0b101 // sub-packet body
+	FlitSubTail FlitType = 0b110 // end of a sub-packet
+	FlitMsgTail FlitType = 0b111 // end of the whole gradient message
+)
+
+func (t FlitType) String() string {
+	switch t {
+	case FlitHead:
+		return "Head"
+	case FlitBody:
+		return "Body"
+	case FlitTail:
+		return "Tail"
+	case FlitHeadTail:
+		return "Head&Tail"
+	case FlitSubHead:
+		return "SubHead"
+	case FlitSubBody:
+		return "SubBody"
+	case FlitSubTail:
+		return "SubTail"
+	case FlitMsgTail:
+		return "MsgTail"
+	}
+	return fmt.Sprintf("FlitType(%d)", uint8(t))
+}
+
+// IsSubPacket reports whether the flit belongs to a message-based
+// big-gradient transfer.
+func (t FlitType) IsSubPacket() bool { return t&0b100 != 0 }
+
+// IsHead reports whether the flit carries packet info (routing metadata).
+func (t FlitType) IsHead() bool {
+	return t == FlitHead || t == FlitHeadTail || t == FlitSubHead
+}
+
+// Flit is the decoded head-flit metadata of Fig. 8. Body flits carry only
+// VC + Type + payload and leave the routing fields zero.
+type Flit struct {
+	VC   uint8
+	Type FlitType
+
+	// Normal packets route by (Dest, Src) node ids under distributed
+	// routing (Fig. 8c).
+	Dest, Src uint16
+
+	// All-reduce sub-packets are source-routed between neighbors: Next is
+	// the output port at the source router, Eject the ejection port at the
+	// destination, and Tree the flow (tree) id used to clear schedule
+	// dependencies (Fig. 8d). Next is kept toward the destination so the
+	// receiver can identify which child the message came from (§IV-B).
+	Next, Eject uint8
+	Tree        uint16
+}
+
+// flit byte layout (within a 16-byte flit, metadata occupies the first 6
+// bytes; the rest is payload):
+//
+//	byte 0: VC (high nibble) | Type (low 3 bits)
+//	bytes 1-2: Dest or (Next | Eject)
+//	bytes 3-4: Src or Tree
+//	byte 5: reserved
+const flitMetaBytes = 6
+
+// EncodeFlit packs the flit metadata into buf, which must be at least one
+// flit wide.
+func EncodeFlit(f Flit, buf []byte, flitBytes int) error {
+	if len(buf) < flitBytes || flitBytes < flitMetaBytes {
+		return fmt.Errorf("network: flit buffer %dB too small (flit %dB)", len(buf), flitBytes)
+	}
+	if f.VC > 0xF {
+		return fmt.Errorf("network: VC %d out of range", f.VC)
+	}
+	buf[0] = f.VC<<4 | uint8(f.Type)
+	if f.Type.IsSubPacket() {
+		buf[1] = f.Next
+		buf[2] = f.Eject
+		binary.LittleEndian.PutUint16(buf[3:5], f.Tree)
+	} else {
+		binary.LittleEndian.PutUint16(buf[1:3], f.Dest)
+		binary.LittleEndian.PutUint16(buf[3:5], f.Src)
+	}
+	buf[5] = 0
+	return nil
+}
+
+// DecodeFlit unpacks flit metadata from buf.
+func DecodeFlit(buf []byte, flitBytes int) (Flit, error) {
+	var f Flit
+	if len(buf) < flitBytes || flitBytes < flitMetaBytes {
+		return f, fmt.Errorf("network: flit buffer %dB too small (flit %dB)", len(buf), flitBytes)
+	}
+	f.VC = buf[0] >> 4
+	f.Type = FlitType(buf[0] & 0b111)
+	if f.Type.IsSubPacket() {
+		f.Next = buf[1]
+		f.Eject = buf[2]
+		f.Tree = binary.LittleEndian.Uint16(buf[3:5])
+	} else {
+		f.Dest = binary.LittleEndian.Uint16(buf[1:3])
+		f.Src = binary.LittleEndian.Uint16(buf[3:5])
+	}
+	return f, nil
+}
+
+// Flitize returns the per-flit type sequence for a transfer of payload
+// bytes under the configured flow control — the exact on-wire framing of
+// Fig. 7. It is used by the flit-format tests and by diagnostics; the
+// simulators use the closed-form Config.WireBytes, which tests check for
+// agreement with len(Flitize(...)).
+func (c Config) Flitize(payload int64) []FlitType {
+	if payload <= 0 {
+		return nil
+	}
+	flitsPerPayload := func(b int64) int64 {
+		return (b + int64(c.FlitBytes) - 1) / int64(c.FlitBytes)
+	}
+	var out []FlitType
+	if c.MessageBased {
+		// One big message: SubHead, then body flits with SubTail marking
+		// each sub-packet boundary, closed by MsgTail (Fig. 7b). Sub-tail
+		// flits replace the final body flit of their sub-packet, so the
+		// only added flit is the message head.
+		out = append(out, FlitSubHead)
+		body := flitsPerPayload(payload)
+		subFlits := int64(c.PayloadBytes / c.FlitBytes)
+		for i := int64(1); i <= body; i++ {
+			switch {
+			case i == body:
+				out = append(out, FlitMsgTail)
+			case i%subFlits == 0:
+				out = append(out, FlitSubTail)
+			default:
+				out = append(out, FlitSubBody)
+			}
+		}
+		return out
+	}
+	// Conventional packets: one head flit per payload packet (Fig. 7a).
+	for payload > 0 {
+		chunk := int64(c.PayloadBytes)
+		if payload < chunk {
+			chunk = payload
+		}
+		payload -= chunk
+		body := flitsPerPayload(chunk)
+		out = append(out, FlitHead)
+		for i := int64(1); i <= body; i++ {
+			if i == body {
+				out = append(out, FlitTail)
+			} else {
+				out = append(out, FlitBody)
+			}
+		}
+	}
+	return out
+}

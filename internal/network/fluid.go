@@ -1,0 +1,482 @@
+package network
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"multitree/internal/collective"
+	"multitree/internal/sim"
+	"multitree/internal/topology"
+)
+
+// SimulateFluid executes an all-reduce schedule with the flow-level
+// engine: each transfer, once its dependencies (and, under lockstep, its
+// node's time step) allow, becomes a fluid flow across its routed links;
+// concurrent flows share each link max-min fairly; a flow's payload is
+// delivered one path-latency after its last byte is injected (virtual
+// cut-through pipelining). Head-flit overhead inflates the on-wire volume
+// per Config.WireBytes.
+func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(s.Transfers)
+	res := &Result{
+		TransferDone: make([]sim.Time, n),
+		LinkBusy:     make([]sim.Time, len(s.Topo.Links())),
+	}
+	if n == 0 {
+		return res, nil
+	}
+
+	st := newFluidState(s, cfg)
+	for i := range st.flows {
+		res.PayloadBytes += s.Bytes(&s.Transfers[i])
+		res.WireBytes += int64(st.flows[i].wire)
+	}
+
+	for st.done < n {
+		tNext := st.nextEventTime()
+		if math.IsInf(tNext, 1) {
+			return nil, fmt.Errorf("network: fluid simulation stalled with %d/%d transfers done (%s on %s)",
+				st.done, n, s.Algorithm, s.Topo.Name())
+		}
+		st.advanceTo(tNext)
+		st.processInjections(res)
+		st.processTimed(res)
+		st.activateReady()
+		if st.ratesDirty {
+			st.recomputeRates()
+		}
+	}
+	res.Cycles = sim.Time(math.Ceil(st.now))
+	return res, nil
+}
+
+// fluidFlow is the per-transfer simulation state.
+type fluidFlow struct {
+	path    []topology.LinkID
+	wire    float64 // total on-wire bytes
+	rem     float64 // bytes not yet injected
+	rate    float64
+	latency float64 // path latency in cycles
+
+	depsLeft int
+	state    flowState
+}
+
+type flowState uint8
+
+const (
+	fsWaiting  flowState = iota // deps or node step pending
+	fsActive                    // injecting
+	fsInFlight                  // injected, traversing the path
+	fsDone
+)
+
+// timedEvent is either a transfer arrival (delivery) or a node step entry.
+type timedEvent struct {
+	at   float64
+	kind uint8 // 0 = arrival, 1 = node step entry
+	id   int   // transfer id or node id
+}
+
+type eventHeap []timedEvent
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(timedEvent)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	v := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return v
+}
+
+// nodeClock tracks one node's lockstep progress through its active steps.
+type nodeClock struct {
+	steps   []int // sorted distinct steps at which the node sends
+	idx     int   // index of the current active step; len(steps) when done
+	entered bool  // node has entered steps[idx]
+	pending int   // not-yet-injected sends in the current step
+	entry   float64
+	injEnd  float64 // completion time of the slowest injection this step
+}
+
+type fluidState struct {
+	s   *collective.Schedule
+	cfg Config
+	now float64
+
+	flows []fluidFlow
+	succ  [][]int32
+
+	active     []int32 // indices of fsActive flows
+	ready      []int32 // deps satisfied, waiting to activate (step gate)
+	ratesDirty bool
+	done       int
+
+	events eventHeap
+
+	lockstep bool
+	estStep  float64
+	clocks   []nodeClock
+	sends    [][]int32 // per node: transfer ids it sends, sorted by (step, id)
+}
+
+const fluidEps = 1e-6
+
+func newFluidState(s *collective.Schedule, cfg Config) *fluidState {
+	n := len(s.Transfers)
+	st := &fluidState{
+		s: s, cfg: cfg,
+		flows:    make([]fluidFlow, n),
+		succ:     make([][]int32, n),
+		lockstep: cfg.Lockstep,
+	}
+	maxWire, minBW := 0.0, math.Inf(1)
+	for _, l := range s.Topo.Links() {
+		if l.Bandwidth < minBW {
+			minBW = l.Bandwidth
+		}
+	}
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		f := &st.flows[i]
+		f.path = s.PathOf(t)
+		f.wire = float64(cfg.WireBytes(s.Bytes(t)))
+		f.rem = f.wire
+		f.latency = float64(s.Topo.PathLatency(f.path))
+		f.depsLeft = len(t.Deps)
+		for _, d := range t.Deps {
+			st.succ[d] = append(st.succ[d], int32(i))
+		}
+		if f.wire > maxWire {
+			maxWire = f.wire
+		}
+	}
+	st.estStep = maxWire / minBW
+
+	if st.lockstep {
+		nNodes := s.Topo.Nodes()
+		st.clocks = make([]nodeClock, nNodes)
+		st.sends = make([][]int32, nNodes)
+		for i := range s.Transfers {
+			src := int(s.Transfers[i].Src)
+			st.sends[src] = append(st.sends[src], int32(i))
+		}
+		for node := range st.sends {
+			ids := st.sends[node]
+			// Stable sort by (step, id); transfers were appended in id
+			// order, so an insertion sort on step keeps id order.
+			for i := 1; i < len(ids); i++ {
+				for j := i; j > 0 && s.Transfers[ids[j]].Step < s.Transfers[ids[j-1]].Step; j-- {
+					ids[j], ids[j-1] = ids[j-1], ids[j]
+				}
+			}
+			c := &st.clocks[node]
+			last := -1
+			for _, id := range ids {
+				if step := s.Transfers[id].Step; step != last {
+					c.steps = append(c.steps, step)
+					last = step
+				}
+			}
+			if len(c.steps) > 0 {
+				// Leading NOPs stall like any other gap (§IV-A): a node
+				// whose first send is at step s waits s-1 estimated steps,
+				// keeping all nodes' step clocks aligned without global
+				// synchronization.
+				st.enterStep(node, float64(c.steps[0]-1)*st.estStep)
+			}
+		}
+	}
+
+	// Seed: transfers with no deps become ready.
+	for i := range st.flows {
+		if st.flows[i].depsLeft == 0 {
+			st.ready = append(st.ready, int32(i))
+		}
+	}
+	st.activateReady()
+	st.recomputeRates()
+	return st
+}
+
+// enterStep moves node into its next active step. NOP gaps between the
+// previous and next active step each stall the estimated step time
+// (§IV-A); the entry may therefore land in the future, in which case a
+// timed event defers it.
+func (st *fluidState) enterStep(node int, at float64) {
+	c := &st.clocks[node]
+	if c.idx >= len(c.steps) {
+		return
+	}
+	if at > st.now+fluidEps {
+		c.entered = false
+		heap.Push(&st.events, timedEvent{at: at, kind: 1, id: node})
+		return
+	}
+	c.entered = true
+	c.entry = st.now
+	c.injEnd = st.now
+	step := c.steps[c.idx]
+	c.pending = 0
+	for _, id := range st.sends[node] {
+		if st.s.Transfers[id].Step == step {
+			c.pending++
+		}
+	}
+}
+
+// stepGateOpen reports whether lockstep permits transfer id to inject now.
+func (st *fluidState) stepGateOpen(id int32) bool {
+	if !st.lockstep {
+		return true
+	}
+	t := &st.s.Transfers[id]
+	c := &st.clocks[t.Src]
+	return c.entered && c.idx < len(c.steps) && c.steps[c.idx] == t.Step
+}
+
+// activateReady promotes ready transfers whose step gate is open into
+// active flows (or, for zero-byte flows, straight to in-flight).
+func (st *fluidState) activateReady() {
+	if len(st.ready) == 0 {
+		return
+	}
+	var still []int32
+	for _, id := range st.ready {
+		if !st.stepGateOpen(id) {
+			still = append(still, id)
+			continue
+		}
+		f := &st.flows[id]
+		if f.wire <= fluidEps {
+			f.state = fsInFlight
+			st.injected(id)
+			continue
+		}
+		f.state = fsActive
+		st.active = append(st.active, id)
+		st.ratesDirty = true
+	}
+	st.ready = still
+}
+
+// injected handles a flow whose last byte left the source: schedule its
+// delivery and advance the sender's lockstep clock.
+func (st *fluidState) injected(id int32) {
+	f := &st.flows[id]
+	heap.Push(&st.events, timedEvent{at: st.now + f.latency, kind: 0, id: int(id)})
+	if !st.lockstep {
+		return
+	}
+	node := int(st.s.Transfers[id].Src)
+	c := &st.clocks[node]
+	if st.now > c.injEnd {
+		c.injEnd = st.now
+	}
+	c.pending--
+	if c.pending == 0 {
+		st.advanceNodeStep(node)
+	}
+}
+
+// advanceNodeStep moves a node past its completed step, charging estStep
+// stalls for skipped (NOP) steps before the next active one.
+func (st *fluidState) advanceNodeStep(node int) {
+	c := &st.clocks[node]
+	prev := c.steps[c.idx]
+	c.idx++
+	if c.idx >= len(c.steps) {
+		return
+	}
+	gap := c.steps[c.idx] - prev - 1
+	st.enterStep(node, c.injEnd+float64(gap)*st.estStep)
+}
+
+// nextEventTime returns the earliest pending event: an active flow's
+// injection completion or a timed (arrival / step-entry) event.
+func (st *fluidState) nextEventTime() float64 {
+	t := math.Inf(1)
+	for _, id := range st.active {
+		f := &st.flows[id]
+		if f.rate > 0 {
+			if c := st.now + f.rem/f.rate; c < t {
+				t = c
+			}
+		}
+	}
+	if len(st.events) > 0 && st.events[0].at < t {
+		t = st.events[0].at
+	}
+	return t
+}
+
+// advanceTo drains bandwidth from active flows up to time t.
+func (st *fluidState) advanceTo(t float64) {
+	dt := t - st.now
+	if dt > 0 {
+		for _, id := range st.active {
+			f := &st.flows[id]
+			f.rem -= f.rate * dt
+		}
+	}
+	st.now = t
+}
+
+// processInjections retires active flows that finished injecting.
+func (st *fluidState) processInjections(res *Result) {
+	out := st.active[:0]
+	for _, id := range st.active {
+		f := &st.flows[id]
+		if f.rem <= fluidEps {
+			f.rem = 0
+			f.state = fsInFlight
+			for _, l := range f.path {
+				res.LinkBusy[l] += sim.Time(math.Ceil(f.wire / st.s.Topo.Link(l).Bandwidth))
+			}
+			st.injected(id)
+			st.ratesDirty = true
+		} else {
+			out = append(out, id)
+		}
+	}
+	st.active = out
+}
+
+// processTimed fires due arrivals and node step entries.
+func (st *fluidState) processTimed(res *Result) {
+	for len(st.events) > 0 && st.events[0].at <= st.now+fluidEps {
+		ev := heap.Pop(&st.events).(timedEvent)
+		switch ev.kind {
+		case 0: // delivery at destination
+			id := int32(ev.id)
+			st.flows[id].state = fsDone
+			st.done++
+			res.TransferDone[id] = sim.Time(math.Ceil(st.now))
+			for _, nxt := range st.succ[id] {
+				nf := &st.flows[nxt]
+				nf.depsLeft--
+				if nf.depsLeft == 0 {
+					st.ready = append(st.ready, nxt)
+				}
+			}
+		case 1: // deferred node step entry
+			st.enterStep(ev.id, st.now)
+		}
+	}
+}
+
+// recomputeRates assigns rates to active flows: when step-priority
+// arbitration is on (the co-designed scheduling, §IV-A/§VIII-A: links
+// serve the earliest-step message first, like the FIFO/priority arbiters
+// of a real router), a flow sharing any link with an earlier-step flow
+// waits at rate 0; the remaining flows share max-min fairly via
+// progressive filling.
+func (st *fluidState) recomputeRates() {
+	st.ratesDirty = false
+	if len(st.active) == 0 {
+		return
+	}
+	eligible := st.active
+	if st.cfg.StepPriority {
+		// Minimal step per link among active flows.
+		minStep := map[topology.LinkID]int{}
+		for _, id := range st.active {
+			step := st.s.Transfers[id].Step
+			for _, l := range st.flows[id].path {
+				if cur, ok := minStep[l]; !ok || step < cur {
+					minStep[l] = step
+				}
+			}
+		}
+		eligible = eligible[:0:0]
+		for _, id := range st.active {
+			step := st.s.Transfers[id].Step
+			blocked := false
+			for _, l := range st.flows[id].path {
+				if minStep[l] < step {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				st.flows[id].rate = 0
+			} else {
+				eligible = append(eligible, id)
+			}
+		}
+	}
+	type linkState struct {
+		remCap float64
+		count  int
+	}
+	links := map[topology.LinkID]*linkState{}
+	for _, id := range eligible {
+		st.flows[id].rate = 0
+		for _, l := range st.flows[id].path {
+			ls := links[l]
+			if ls == nil {
+				ls = &linkState{remCap: st.s.Topo.Link(l).Bandwidth}
+				links[l] = ls
+			}
+			ls.count++
+		}
+	}
+	unfrozen := len(eligible)
+	frozen := make([]bool, len(eligible))
+	fill := 0.0
+	for unfrozen > 0 {
+		delta := math.Inf(1)
+		for _, ls := range links {
+			if ls.count > 0 {
+				if d := ls.remCap / float64(ls.count); d < delta {
+					delta = d
+				}
+			}
+		}
+		if math.IsInf(delta, 1) {
+			break // active flows with no links cannot happen (wire > 0 paths are non-empty)
+		}
+		fill += delta
+		for _, ls := range links {
+			ls.remCap -= delta * float64(ls.count)
+		}
+		progress := false
+		for i, id := range eligible {
+			if frozen[i] {
+				continue
+			}
+			saturated := false
+			for _, l := range st.flows[id].path {
+				if links[l].remCap <= fluidEps {
+					saturated = true
+					break
+				}
+			}
+			if saturated {
+				frozen[i] = true
+				unfrozen--
+				progress = true
+				st.flows[id].rate = fill
+				for _, l := range st.flows[id].path {
+					links[l].count--
+				}
+			}
+		}
+		if !progress {
+			// Numerical corner: freeze everything at the current fill.
+			for i, id := range eligible {
+				if !frozen[i] {
+					frozen[i] = true
+					unfrozen--
+					st.flows[id].rate = fill
+				}
+			}
+		}
+	}
+}

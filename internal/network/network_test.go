@@ -1,0 +1,153 @@
+package network_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/dbtree"
+	"multitree/internal/network"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+func torus4x4() *topology.Topology {
+	return topology.Torus(4, 4, topology.DefaultLinkConfig())
+}
+
+// TestFluidSingleTransfer checks the analytic time of one uncontended
+// transfer: serialization + path latency.
+func TestFluidSingleTransfer(t *testing.T) {
+	topo := torus4x4()
+	s := collective.NewSchedule("unit", topo, 4096, 1)
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 0, Step: 1})
+	cfg := network.DefaultConfig()
+	cfg.Lockstep = false
+	res, err := network.SimulateFluid(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := cfg.WireBytes(4096 * collective.WordSize)
+	want := float64(wire)/16 + 150
+	if got := float64(res.Cycles); math.Abs(got-want) > 2 {
+		t.Errorf("cycles = %v, want ~%v (wire %d)", got, want, wire)
+	}
+	pres, err := network.SimulatePackets(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packet engine pipelines packets, so the last packet's arrival is
+	// serialization of the whole stream + latency, within one packet time.
+	if diff := math.Abs(float64(pres.Cycles) - want); diff > 64 {
+		t.Errorf("packet cycles = %d, want ~%v", pres.Cycles, want)
+	}
+}
+
+// TestFluidContention checks max-min sharing: two flows over one link take
+// twice as long.
+func TestFluidContention(t *testing.T) {
+	topo := torus4x4()
+	s := collective.NewSchedule("unit", topo, 8192, 2)
+	// Both flows use link 0->1 by routing 0->1 (x-direction single hop).
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 0, Step: 1})
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 1, Step: 1})
+	cfg := network.DefaultConfig()
+	cfg.Lockstep = false
+	res, err := network.SimulateFluid(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := cfg.WireBytes(s.Flows[0].Bytes())
+	want := 2*float64(wire)/16 + 150
+	if got := float64(res.Cycles); math.Abs(got-want) > 2 {
+		t.Errorf("cycles = %v, want ~%v", got, want)
+	}
+}
+
+// TestEnginesAgree cross-validates the fluid engine against the
+// packet-level reference across algorithms and sizes: completion times
+// must agree within 15%.
+func TestEnginesAgree(t *testing.T) {
+	topo := torus4x4()
+	elemsList := []int{1 << 10, 1 << 14}
+	for _, elems := range elemsList {
+		schedules := []*collective.Schedule{ring.Build(topo, elems)}
+		if s, err := dbtree.Build(topo, elems, 4); err == nil {
+			schedules = append(schedules, s)
+		}
+		if s, err := core.Build(topo, elems, core.Options{}); err == nil {
+			schedules = append(schedules, s)
+		}
+		for _, s := range schedules {
+			for _, cfg := range []network.Config{network.DefaultConfig(), network.MessageConfig()} {
+				name := fmt.Sprintf("%s/%delems/msg=%v", s.Algorithm, elems, cfg.MessageBased)
+				t.Run(name, func(t *testing.T) {
+					fres, err := network.SimulateFluid(s, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					pres, err := network.SimulatePackets(s, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					f, p := float64(fres.Cycles), float64(pres.Cycles)
+					if rel := math.Abs(f-p) / p; rel > 0.15 {
+						t.Errorf("fluid %.0f vs packet %.0f cycles: %.1f%% apart", f, p, 100*rel)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestMessageFlowControlGain checks the §IV-B claim end to end: with
+// 256 B payloads and 16 B flits, message-based flow control improves
+// bandwidth-bound all-reduce time by about 6%.
+func TestMessageFlowControlGain(t *testing.T) {
+	topo := torus4x4()
+	s, err := core.Build(topo, 1<<20, core.Options{}) // 4 MiB: bandwidth-bound
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := network.SimulateFluid(s, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := network.SimulateFluid(s, network.MessageConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := float64(base.Cycles)/float64(msg.Cycles) - 1
+	if gain < 0.04 || gain > 0.08 {
+		t.Errorf("message-based gain = %.2f%%, want ~6%%", 100*gain)
+	}
+}
+
+// TestHeadFlitOverhead pins Fig. 2's endpoints: 25% at 64 B payloads, 6.25%
+// at 256 B.
+func TestHeadFlitOverhead(t *testing.T) {
+	if got := network.HeadFlitOverhead(64, 16); got != 0.25 {
+		t.Errorf("overhead(64) = %v, want 0.25", got)
+	}
+	if got := network.HeadFlitOverhead(256, 16); got != 0.0625 {
+		t.Errorf("overhead(256) = %v, want 0.0625", got)
+	}
+}
+
+// TestWireBytesMatchesFlitize checks the closed-form wire size against the
+// explicit flit framing for both flow controls.
+func TestWireBytesMatchesFlitize(t *testing.T) {
+	for _, cfg := range []network.Config{network.DefaultConfig(), network.MessageConfig()} {
+		for _, payload := range []int64{1, 15, 16, 17, 255, 256, 257, 4096, 100000} {
+			flits := cfg.Flitize(payload)
+			got := cfg.WireBytes(payload)
+			want := int64(len(flits)) * int64(cfg.FlitBytes)
+			if got != want {
+				t.Errorf("msg=%v payload=%d: WireBytes=%d, Flitize gives %d flits = %d bytes",
+					cfg.MessageBased, payload, got, len(flits), want)
+			}
+		}
+	}
+}

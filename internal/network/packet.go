@@ -1,0 +1,353 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"multitree/internal/collective"
+	"multitree/internal/sim"
+	"multitree/internal/topology"
+)
+
+// SimulatePackets executes an all-reduce schedule at packet granularity:
+// transfers are packetized per the configured flow control, packets move
+// hop by hop through per-link FIFO queues with serialization delay
+// wire/bandwidth plus propagation delay per link, and each link's
+// downstream input buffer (VCs x depth flits) exerts backpressure on the
+// link. It is slower but higher-fidelity than SimulateFluid and serves as
+// the reference engine in cross-validation tests and the fidelity
+// ablation bench.
+func SimulatePackets(s *collective.Schedule, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		TransferDone: make([]sim.Time, len(s.Transfers)),
+		LinkBusy:     make([]sim.Time, len(s.Topo.Links())),
+	}
+	if len(s.Transfers) == 0 {
+		return res, nil
+	}
+	ps := newPacketSim(s, cfg, res)
+	ps.seed()
+	ps.eng.Run()
+	if ps.done != len(s.Transfers) {
+		return nil, fmt.Errorf("network: packet simulation stalled with %d/%d transfers done (%s on %s)",
+			ps.done, len(s.Transfers), s.Algorithm, s.Topo.Name())
+	}
+	res.Cycles = ps.eng.Now()
+	return res, nil
+}
+
+// packet is one on-wire unit of a transfer.
+type packet struct {
+	transfer int32
+	wire     int64 // bytes on the wire including its head-flit share
+	path     []topology.LinkID
+	hop      int // index of the link the packet crosses next
+}
+
+type packetSim struct {
+	s   *collective.Schedule
+	cfg Config
+	eng sim.Engine
+	res *Result
+
+	depsLeft []int
+	succ     [][]int32
+	pktsLeft []int // packets not yet delivered, per transfer
+	toInject []int // packets not yet across the first link, per transfer
+	done     int
+
+	linkBusy  []bool
+	linkQueue [][]*packet
+	// bufFree[l] is the remaining input-buffer space at link l's
+	// downstream router. Only link l feeds that buffer, so when space
+	// frees we simply retry link l.
+	bufFree []int64
+
+	// Lockstep state (same semantics as the fluid engine).
+	lockstep bool
+	estStep  sim.Time
+	clocks   []pktNodeClock
+	sends    [][]int32
+	waiting  [][]int32 // per node: dep-satisfied transfers parked for their step
+}
+
+type pktNodeClock struct {
+	steps   []int
+	idx     int
+	entered bool
+	pending int
+	injEnd  sim.Time
+}
+
+func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
+	n := len(s.Transfers)
+	nl := len(s.Topo.Links())
+	ps := &packetSim{
+		s: s, cfg: cfg, res: res,
+		depsLeft:  make([]int, n),
+		succ:      make([][]int32, n),
+		pktsLeft:  make([]int, n),
+		toInject:  make([]int, n),
+		linkBusy:  make([]bool, nl),
+		linkQueue: make([][]*packet, nl),
+		bufFree:   make([]int64, nl),
+		lockstep:  cfg.Lockstep,
+	}
+	bufCap := int64(cfg.VCs) * int64(cfg.VCDepthFlits) * int64(cfg.FlitBytes)
+	for l := range ps.bufFree {
+		ps.bufFree[l] = bufCap
+	}
+	maxWire, minBW := int64(0), math.Inf(1)
+	for _, l := range s.Topo.Links() {
+		if l.Bandwidth < minBW {
+			minBW = l.Bandwidth
+		}
+	}
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		ps.depsLeft[i] = len(t.Deps)
+		for _, d := range t.Deps {
+			ps.succ[d] = append(ps.succ[d], int32(i))
+		}
+		w := cfg.WireBytes(s.Bytes(t))
+		if w > maxWire {
+			maxWire = w
+		}
+		res.PayloadBytes += s.Bytes(t)
+		res.WireBytes += w
+	}
+	ps.estStep = sim.Time(math.Ceil(float64(maxWire) / minBW))
+
+	if ps.lockstep {
+		nNodes := s.Topo.Nodes()
+		ps.clocks = make([]pktNodeClock, nNodes)
+		ps.sends = make([][]int32, nNodes)
+		ps.waiting = make([][]int32, nNodes)
+		for i := range s.Transfers {
+			ps.sends[s.Transfers[i].Src] = append(ps.sends[s.Transfers[i].Src], int32(i))
+		}
+		for node := range ps.sends {
+			ids := ps.sends[node]
+			sort.SliceStable(ids, func(a, b int) bool {
+				return s.Transfers[ids[a]].Step < s.Transfers[ids[b]].Step
+			})
+			c := &ps.clocks[node]
+			last := -1
+			for _, id := range ids {
+				if st := s.Transfers[id].Step; st != last {
+					c.steps = append(c.steps, st)
+					last = st
+				}
+			}
+		}
+	}
+	return ps
+}
+
+// seed enters every sending node's first step and releases dependency-free
+// transfers at cycle 0.
+func (ps *packetSim) seed() {
+	if ps.lockstep {
+		for node := range ps.clocks {
+			c := &ps.clocks[node]
+			if len(c.steps) == 0 {
+				continue
+			}
+			// Leading NOPs stall like any other gap (§IV-A).
+			if gap := sim.Time(c.steps[0]-1) * ps.estStep; gap > 0 {
+				n := node
+				ps.eng.Schedule(gap, func() { ps.enterStep(n) })
+			} else {
+				ps.enterStep(node)
+			}
+		}
+	}
+	for i := range ps.depsLeft {
+		if ps.depsLeft[i] == 0 {
+			id := int32(i)
+			ps.eng.Schedule(0, func() { ps.release(id) })
+		}
+	}
+}
+
+// release is called when a transfer's dependencies are met; it injects
+// immediately or parks until the sender's lockstep gate opens.
+func (ps *packetSim) release(id int32) {
+	t := &ps.s.Transfers[id]
+	if ps.lockstep {
+		c := &ps.clocks[t.Src]
+		if !(c.entered && c.idx < len(c.steps) && c.steps[c.idx] == t.Step) {
+			ps.waiting[t.Src] = append(ps.waiting[t.Src], id)
+			return
+		}
+	}
+	ps.inject(id)
+}
+
+// inject packetizes a transfer and enqueues its packets on the first link
+// of its path.
+func (ps *packetSim) inject(id int32) {
+	t := &ps.s.Transfers[id]
+	path := ps.s.PathOf(t)
+	pkts := ps.packetize(ps.s.Bytes(t))
+	ps.pktsLeft[id] = len(pkts)
+	ps.toInject[id] = len(pkts)
+	if len(pkts) == 0 {
+		ps.eng.After(ps.s.Topo.PathLatency(path), func() { ps.delivered(id) })
+		ps.injectionDone(int(t.Src))
+		return
+	}
+	first := path[0]
+	for _, w := range pkts {
+		ps.linkQueue[first] = append(ps.linkQueue[first], &packet{
+			transfer: id, wire: w, path: path,
+		})
+	}
+	ps.tryTransmit(first)
+}
+
+// packetize splits a payload into per-packet wire sizes (Fig. 7): under
+// packet-based flow control every packet carries a head flit; under
+// message-based flow control only the first sub-packet does.
+func (ps *packetSim) packetize(payload int64) []int64 {
+	if payload <= 0 {
+		return nil
+	}
+	flit := int64(ps.cfg.FlitBytes)
+	var out []int64
+	rem := payload
+	first := true
+	for rem > 0 {
+		chunk := int64(ps.cfg.PayloadBytes)
+		if rem < chunk {
+			chunk = rem
+		}
+		rem -= chunk
+		wire := (chunk + flit - 1) / flit * flit
+		if !ps.cfg.MessageBased || first {
+			wire += flit
+		}
+		out = append(out, wire)
+		first = false
+	}
+	return out
+}
+
+// tryTransmit starts serving the head packet of a link's queue if the link
+// is idle and the downstream buffer has room. It re-arms itself after each
+// serialization completes, so a blocked link retries whenever its buffer
+// frees or a new packet arrives.
+func (ps *packetSim) tryTransmit(l topology.LinkID) {
+	if ps.linkBusy[l] || len(ps.linkQueue[l]) == 0 {
+		return
+	}
+	p := ps.linkQueue[l][0]
+	lastHop := p.hop == len(p.path)-1
+	if !lastHop && ps.bufFree[l] < p.wire {
+		return // backpressured; retried when the buffer frees
+	}
+	ps.linkQueue[l] = ps.linkQueue[l][1:]
+	if !lastHop {
+		ps.bufFree[l] -= p.wire
+	}
+	if p.hop > 0 {
+		// Departing frees the input buffer of the previous link and may
+		// unblock it.
+		prev := p.path[p.hop-1]
+		ps.bufFree[prev] += p.wire
+		ps.tryTransmit(prev)
+	}
+	ps.linkBusy[l] = true
+	link := ps.s.Topo.Link(l)
+	ser := sim.Time(math.Ceil(float64(p.wire) / link.Bandwidth))
+	ps.res.LinkBusy[l] += ser
+	firstHop := p.hop == 0
+	ps.eng.After(ser, func() {
+		ps.linkBusy[l] = false
+		if firstHop {
+			ps.toInject[p.transfer]--
+			if ps.toInject[p.transfer] == 0 {
+				ps.injectionDone(int(ps.s.Transfers[p.transfer].Src))
+			}
+		}
+		ps.tryTransmit(l)
+		ps.eng.After(link.Latency, func() { ps.arrive(p, lastHop) })
+	})
+}
+
+// arrive handles a packet reaching the downstream end of its current link.
+func (ps *packetSim) arrive(p *packet, lastHop bool) {
+	if lastHop {
+		// Eject into the destination NI; router buffer space was never
+		// charged for the final hop.
+		ps.pktsLeft[p.transfer]--
+		if ps.pktsLeft[p.transfer] == 0 {
+			ps.delivered(p.transfer)
+		}
+		return
+	}
+	p.hop++
+	next := p.path[p.hop]
+	ps.linkQueue[next] = append(ps.linkQueue[next], p)
+	ps.tryTransmit(next)
+}
+
+// delivered marks a transfer complete and releases its dependents.
+func (ps *packetSim) delivered(id int32) {
+	ps.res.TransferDone[id] = ps.eng.Now()
+	ps.done++
+	for _, nxt := range ps.succ[id] {
+		ps.depsLeft[nxt]--
+		if ps.depsLeft[nxt] == 0 {
+			ps.release(nxt)
+		}
+	}
+}
+
+// enterStep opens a node's lockstep gate for its current step and releases
+// parked transfers.
+func (ps *packetSim) enterStep(node int) {
+	c := &ps.clocks[node]
+	c.entered = true
+	c.injEnd = ps.eng.Now()
+	step := c.steps[c.idx]
+	c.pending = 0
+	for _, id := range ps.sends[node] {
+		if ps.s.Transfers[id].Step == step {
+			c.pending++
+		}
+	}
+	parked := ps.waiting[node]
+	ps.waiting[node] = nil
+	for _, id := range parked {
+		ps.release(id)
+	}
+}
+
+// injectionDone advances the node's lockstep clock once all sends of its
+// current step have left the NI, charging estStep stalls for NOP gaps.
+func (ps *packetSim) injectionDone(node int) {
+	if !ps.lockstep {
+		return
+	}
+	c := &ps.clocks[node]
+	if now := ps.eng.Now(); now > c.injEnd {
+		c.injEnd = now
+	}
+	c.pending--
+	if c.pending > 0 {
+		return
+	}
+	prev := c.steps[c.idx]
+	c.idx++
+	if c.idx >= len(c.steps) {
+		return
+	}
+	gap := sim.Time(c.steps[c.idx]-prev-1) * ps.estStep
+	c.entered = false
+	ps.eng.Schedule(c.injEnd+gap, func() { ps.enterStep(node) })
+}

@@ -1,0 +1,204 @@
+package ni
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// Machine is a behavioral model of the Fig. 6 schedule-management
+// hardware, instantiated for every node: each NI walks its schedule table
+// in step order behind a timestep counter, issues Reduce/Gather entries
+// once their Parent/Children dependencies clear, and advances past NOPs.
+// Gradient values are tracked symbolically as contribution sets, so a run
+// proves that the compiled tables alone — with no knowledge of the trees
+// that produced them — drive a complete and correct all-reduce.
+type Machine struct {
+	tables *Tables
+	nodes  int
+	flows  int
+
+	// cov[node][flow] is the set of original contributions folded into
+	// the node's copy of the flow's chunk (bitset by node).
+	cov [][]bitset
+
+	// reduceHeard[node][flow] marks children whose Reduce arrived.
+	reduceHeard [][]bitset
+	// gatherHeard[node][flow] marks a received Gather from the parent.
+	gatherHeard [][]bool
+
+	next []int // per node: index of the next table entry to issue
+}
+
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (i % 64) }
+func (b bitset) has(i int) bool { return b[i/64]>>(i%64)&1 == 1 }
+func (b bitset) or(o bitset) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+func (b bitset) copyFrom(o bitset) { copy(b, o) }
+func (b bitset) full(n int) bool {
+	for i := 0; i < n; i++ {
+		if !b.has(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewMachine prepares a symbolic run of the compiled tables for an
+// n-node, f-flow all-reduce (normally f == n: one tree per node).
+func NewMachine(tables *Tables, flows int) *Machine {
+	n := len(tables.PerNode)
+	m := &Machine{tables: tables, nodes: n, flows: flows}
+	m.cov = make([][]bitset, n)
+	m.reduceHeard = make([][]bitset, n)
+	m.gatherHeard = make([][]bool, n)
+	m.next = make([]int, n)
+	for i := 0; i < n; i++ {
+		m.cov[i] = make([]bitset, flows)
+		m.reduceHeard[i] = make([]bitset, flows)
+		m.gatherHeard[i] = make([]bool, flows)
+		for f := 0; f < flows; f++ {
+			m.cov[i][f] = newBitset(n)
+			m.cov[i][f].set(i) // own gradient contribution
+			m.reduceHeard[i][f] = newBitset(n)
+		}
+	}
+	return m
+}
+
+// Run drives all NIs to completion and verifies that every node ends with
+// every flow's full reduction. It returns the number of issue rounds
+// taken, or an error if the tables deadlock or produce incomplete sums.
+func (m *Machine) Run() (int, error) {
+	rounds := 0
+	for {
+		progressed := false
+		for node := 0; node < m.nodes; node++ {
+			for m.issueNext(node) {
+				progressed = true
+			}
+		}
+		rounds++
+		if m.done() {
+			break
+		}
+		if !progressed {
+			return rounds, fmt.Errorf("ni: schedule tables deadlocked after %d rounds", rounds)
+		}
+	}
+	for node := 0; node < m.nodes; node++ {
+		for f := 0; f < m.flows; f++ {
+			if !m.cov[node][f].full(m.nodes) {
+				return rounds, fmt.Errorf("ni: node %d flow %d incomplete after run", node, f)
+			}
+		}
+	}
+	return rounds, nil
+}
+
+// done reports whether every table has been fully issued.
+func (m *Machine) done() bool {
+	for node := range m.next {
+		if m.next[node] < len(m.tables.PerNode[node].Entries) {
+			return false
+		}
+	}
+	return true
+}
+
+// issueNext inspects the head entry of a node's table (step 1 of Fig. 6)
+// and issues it if its dependencies are satisfied. Entries issue strictly
+// in table order, which the timestep counter enforces in hardware.
+func (m *Machine) issueNext(node int) bool {
+	t := &m.tables.PerNode[node]
+	if m.next[node] >= len(t.Entries) {
+		return false
+	}
+	e := &t.Entries[m.next[node]]
+	switch e.Op {
+	case collective.NOP:
+		// Behavioral model: the lockstep down-counter elapses instantly.
+		m.next[node]++
+		return true
+	case collective.Reduce:
+		for _, c := range e.Children {
+			if c != Nil && !m.reduceHeard[node][e.FlowID].has(int(c)) {
+				return false
+			}
+		}
+		// Chained wide-dependency entries: only the last entry of the
+		// (flow, step) unit transmits.
+		if m.next[node]+1 < len(t.Entries) {
+			n := &t.Entries[m.next[node]+1]
+			if n.Op == collective.Reduce && n.FlowID == e.FlowID && n.Step == e.Step {
+				m.next[node]++
+				return true
+			}
+		}
+		m.deliverReduce(node, int(e.Parent), e.FlowID)
+		m.next[node]++
+		return true
+	case collective.Gather:
+		if e.Parent != Nil && !m.gatherHeard[node][e.FlowID] {
+			return false
+		}
+		if e.Parent == Nil {
+			// Root: broadcasting starts once the local reduction logic has
+			// heard from every child of this flow — purely local state,
+			// as in Fig. 6 step (5).
+			for _, c := range m.flowChildren(node, e.FlowID) {
+				if !m.reduceHeard[node][e.FlowID].has(int(c)) {
+					return false
+				}
+			}
+		}
+		for _, c := range e.Children {
+			if c != Nil {
+				m.deliverGather(node, int(c), e.FlowID)
+			}
+		}
+		m.next[node]++
+		return true
+	}
+	return false
+}
+
+// flowChildren returns every child listed in a node's entries for a flow
+// — the set whose Reduces its reduction logic must collect.
+func (m *Machine) flowChildren(node, flow int) []topology.NodeID {
+	var out []topology.NodeID
+	for i := range m.tables.PerNode[node].Entries {
+		e := &m.tables.PerNode[node].Entries[i]
+		if e.FlowID != flow {
+			continue
+		}
+		for _, c := range e.Children {
+			if c != Nil {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// deliverReduce models the receive path (4)-(5) of Fig. 6: aggregation
+// then dependency clearing.
+func (m *Machine) deliverReduce(from, to, flow int) {
+	m.cov[to][flow].or(m.cov[from][flow])
+	m.reduceHeard[to][flow].set(from)
+}
+
+// deliverGather models the receive path (6): the child's copy is
+// overwritten and its parent dependence clears.
+func (m *Machine) deliverGather(from, to, flow int) {
+	m.cov[to][flow].copyFrom(m.cov[from][flow])
+	m.gatherHeard[to][flow] = true
+}

@@ -1,0 +1,122 @@
+package ni
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// This file implements the deployment path of §V-A: "The schedules are
+// computed once during initialization and loaded to network interfaces for
+// reuse in the iterative training epochs." Tables serialize to a compact
+// little-endian binary image — the bit stream a host driver would DMA
+// into the NI's table SRAM — and deserialize back for verification.
+
+// tableMagic guards against loading foreign blobs into the NI.
+const tableMagic = 0x4D545254 // "MTRT"
+
+// entryWire is the fixed on-wire entry layout (byte-aligned rendition of
+// the ~200-bit entry of §V-A).
+type entryWire struct {
+	Op       uint8
+	_        uint8 // pad
+	FlowID   int16
+	Parent   int16
+	Children [MaxChildren]int16
+	Step     uint16
+	_        uint16 // pad
+	Start    uint64
+	Size     uint64
+}
+
+// MarshalBinary encodes all per-node tables.
+func (ts *Tables) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	w := func(v any) {
+		// bytes.Buffer writes cannot fail.
+		_ = binary.Write(&buf, binary.LittleEndian, v)
+	}
+	w(uint32(tableMagic))
+	w(uint32(ts.Steps))
+	w(uint32(len(ts.PerNode)))
+	for _, tab := range ts.PerNode {
+		w(uint32(tab.Node))
+		w(uint32(len(tab.Entries)))
+		for _, e := range tab.Entries {
+			ew := entryWire{
+				Op:     uint8(e.Op),
+				FlowID: int16(e.FlowID),
+				Parent: int16(e.Parent),
+				Step:   uint16(e.Step),
+				Start:  uint64(e.StartAddr),
+				Size:   uint64(e.Size),
+			}
+			for i, c := range e.Children {
+				ew.Children[i] = int16(c)
+			}
+			w(ew)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a table image produced by MarshalBinary.
+func (ts *Tables) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	read := func(v any) error { return binary.Read(r, binary.LittleEndian, v) }
+	var magic, steps, nodes uint32
+	if err := read(&magic); err != nil {
+		return fmt.Errorf("ni: truncated table image: %w", err)
+	}
+	if magic != tableMagic {
+		return fmt.Errorf("ni: bad table magic %#x", magic)
+	}
+	if err := read(&steps); err != nil {
+		return err
+	}
+	if err := read(&nodes); err != nil {
+		return err
+	}
+	if nodes > 1<<20 {
+		return fmt.Errorf("ni: implausible node count %d", nodes)
+	}
+	ts.Steps = int(steps)
+	ts.PerNode = make([]Table, nodes)
+	for n := range ts.PerNode {
+		var node, count uint32
+		if err := read(&node); err != nil {
+			return err
+		}
+		if err := read(&count); err != nil {
+			return err
+		}
+		if count > 1<<24 {
+			return fmt.Errorf("ni: implausible entry count %d", count)
+		}
+		tab := Table{Node: topology.NodeID(node)}
+		tab.Entries = make([]Entry, count)
+		for i := range tab.Entries {
+			var ew entryWire
+			if err := read(&ew); err != nil {
+				return fmt.Errorf("ni: truncated entry: %w", err)
+			}
+			e := Entry{
+				Op:        collective.Op(ew.Op),
+				FlowID:    int(ew.FlowID),
+				Parent:    topology.NodeID(ew.Parent),
+				Step:      int(ew.Step),
+				StartAddr: int(ew.Start),
+				Size:      int(ew.Size),
+			}
+			for k, c := range ew.Children {
+				e.Children[k] = topology.NodeID(c)
+			}
+			tab.Entries[i] = e
+		}
+		ts.PerNode[n] = tab
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+// Package ni models the co-designed network interface of §IV-A: the
+// all-reduce schedule table (Fig. 5), and the schedule-management state
+// machine of Fig. 6 — timestep counter, lockstep down-counter, opcode
+// decoder, and dependency clearing. The tables are compiled from the
+// spanning trees Algorithm 1 constructs; one table per node, two entries
+// per tree (one Reduce for the reduce-scatter phase, one Gather for the
+// all-gather phase), plus NOPs for the steps a node sits out.
+package ni
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// MaxChildren is the Children field width of a table entry. The paper
+// sizes it as the bandwidth ratio between the network interface and one
+// link (4 for the evaluated direct networks).
+const MaxChildren = 4
+
+// Nil marks an absent Parent or Children slot.
+const Nil topology.NodeID = -1
+
+// Entry is one all-reduce schedule table row (Fig. 5): opcode, tree flow,
+// dependency endpoints, issue step, and the DMA descriptor for the
+// gradient chunk.
+type Entry struct {
+	Op       collective.Op
+	FlowID   int
+	Parent   topology.NodeID
+	Children [MaxChildren]topology.NodeID
+	Step     int
+
+	// StartAddr and Size describe the gradient chunk in node memory, in
+	// elements. They are filled by Bind for a concrete gradient size.
+	StartAddr int
+	Size      int
+}
+
+// childCount returns the number of valid children slots.
+func (e *Entry) childCount() int {
+	n := 0
+	for _, c := range e.Children {
+		if c != Nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Table is one node's all-reduce schedule table.
+type Table struct {
+	Node    topology.NodeID
+	Entries []Entry
+}
+
+// Tables holds the per-node tables of a system plus the total step count.
+type Tables struct {
+	PerNode []Table
+	Steps   int // steps per phase (reduce-scatter == all-gather == Steps)
+}
+
+// Compile converts the spanning trees of Algorithm 1 into per-node
+// schedule tables. For every tree, each non-root node gets one Reduce
+// entry (send to parent, after its children's Reduces arrive) and each
+// node with children gets one Gather entry per child-step group; NOP
+// entries fill the steps a node does not send in, to hold the lockstep.
+func Compile(trees []*collective.Tree, nodes int) (*Tables, error) {
+	tot := 0
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+		if h := tr.Height(); h > tot {
+			tot = h
+		}
+	}
+	ts := &Tables{Steps: tot}
+	ts.PerNode = make([]Table, nodes)
+	for n := range ts.PerNode {
+		ts.PerNode[n].Node = topology.NodeID(n)
+	}
+	for _, tr := range trees {
+		children := tr.Children()
+		for node := 0; node < nodes; node++ {
+			id := topology.NodeID(node)
+			// Reduce entry: send to parent at the reversed step; the
+			// children this node must hear from first are its dependency
+			// set.
+			if id != tr.Root {
+				step := tot - tr.AGStep[id] + 1
+				// A node with more than MaxChildren children spreads the
+				// dependency vector across chained entries of the same
+				// (flow, step); the issue logic treats them as one unit.
+				kids := children[id]
+				for first := true; first || len(kids) > 0; first = false {
+					e := Entry{
+						Op:     collective.Reduce,
+						FlowID: tr.Flow,
+						Parent: tr.Parent[id],
+						Step:   step,
+					}
+					n := len(kids)
+					if n > MaxChildren {
+						n = MaxChildren
+					}
+					fillChildren(&e, kids[:n])
+					kids = kids[n:]
+					ts.PerNode[node].Entries = append(ts.PerNode[node].Entries, e)
+					if len(kids) == 0 {
+						break
+					}
+				}
+			}
+			// Gather entries: one per distinct child step, since children
+			// attached at different tree levels are served in different
+			// steps.
+			kids := children[id]
+			for i := 0; i < len(kids); {
+				step := tr.AGStep[kids[i]]
+				e := Entry{
+					Op:     collective.Gather,
+					FlowID: tr.Flow,
+					Parent: Nil,
+					Step:   tot + step,
+				}
+				if id != tr.Root {
+					e.Parent = tr.Parent[id]
+				}
+				slot := 0
+				for i < len(kids) && tr.AGStep[kids[i]] == step {
+					if slot == MaxChildren {
+						return nil, fmt.Errorf(
+							"ni: node %d tree %d step %d has more than %d same-step children",
+							id, tr.Flow, step, MaxChildren)
+					}
+					e.Children[slot] = kids[i]
+					slot++
+					i++
+				}
+				for ; slot < MaxChildren; slot++ {
+					e.Children[slot] = Nil
+				}
+				ts.PerNode[node].Entries = append(ts.PerNode[node].Entries, e)
+			}
+		}
+	}
+	for n := range ts.PerNode {
+		entries := ts.PerNode[n].Entries
+		sort.SliceStable(entries, func(a, b int) bool {
+			if entries[a].Step != entries[b].Step {
+				return entries[a].Step < entries[b].Step
+			}
+			return entries[a].FlowID < entries[b].FlowID
+		})
+		ts.PerNode[n].Entries = insertNOPs(entries, 2*tot)
+	}
+	return ts, nil
+}
+
+// fillChildren populates an entry's Children slots with the node's own
+// children in the tree — the reduces it must receive before issuing.
+func fillChildren(e *Entry, kids []topology.NodeID) {
+	for i := range e.Children {
+		if i < len(kids) {
+			e.Children[i] = kids[i]
+		} else {
+			e.Children[i] = Nil
+		}
+	}
+}
+
+// insertNOPs fills step gaps with NOP entries so the timestep counter
+// advances through idle steps via the lockstep down-counter.
+func insertNOPs(entries []Entry, totalSteps int) []Entry {
+	var out []Entry
+	next := 1
+	emitNOPs := func(upto int) {
+		for ; next < upto; next++ {
+			out = append(out, Entry{
+				Op: collective.NOP, FlowID: -1, Parent: Nil,
+				Children: [MaxChildren]topology.NodeID{Nil, Nil, Nil, Nil},
+				Step:     next,
+			})
+		}
+	}
+	for _, e := range entries {
+		emitNOPs(e.Step)
+		out = append(out, e)
+		if e.Step >= next {
+			next = e.Step + 1
+		}
+	}
+	emitNOPs(totalSteps + 1)
+	return out
+}
+
+// Bind fills StartAddr and Size for a concrete gradient of elems elements
+// partitioned across the flows, mirroring how the processor programs the
+// DMA descriptors at initialization.
+func (ts *Tables) Bind(elems, flows int) {
+	parts := collective.Partition(elems, flows)
+	for n := range ts.PerNode {
+		for i := range ts.PerNode[n].Entries {
+			e := &ts.PerNode[n].Entries[i]
+			if e.Op == collective.NOP {
+				continue
+			}
+			e.StartAddr = parts[e.FlowID].Off
+			e.Size = parts[e.FlowID].Len
+		}
+	}
+}
+
+// EntryBits returns the storage cost of one entry in bits: a 4-bit
+// opcode, byte-aligned node-id fields (flow, parent, 4 children), a
+// 16-bit step counter, and the 64-bit start address and 64-bit size of
+// the DMA descriptor. For a 64-node system this is 196 bits, matching the
+// paper's "each table entry needs 200 bits" estimate (§V-A).
+func EntryBits(nodes int) int {
+	idBits := bitsFor(nodes)
+	if idBits < 8 {
+		idBits = 8 // byte-aligned id fields
+	}
+	return 4 + idBits + idBits + MaxChildren*idBits + 16 + 64 + 64
+}
+
+// TableBytes returns the per-node schedule table size in bytes: 2N entries
+// for an N-node system (one Reduce and one Gather per tree), the §V-A
+// hardware-overhead estimate (3.2 KB for 64 nodes).
+func TableBytes(nodes int) int {
+	return 2 * nodes * EntryBits(nodes) / 8
+}
+
+func bitsFor(n int) int {
+	b := 1
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// String renders a table like Fig. 5.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Accelerator %d\n", t.Node)
+	fmt.Fprintf(&b, "%-7s %-6s %-6s %-16s %-4s\n", "Op", "FlowID", "Parent", "Children", "Step")
+	for _, e := range t.Entries {
+		if e.Op == collective.NOP {
+			fmt.Fprintf(&b, "%-7s %-6s %-6s %-16s %-4d\n", "NOP", "-", "-", "-", e.Step)
+			continue
+		}
+		parent := "nil"
+		if e.Parent != Nil {
+			parent = fmt.Sprint(e.Parent)
+		}
+		var kids []string
+		for _, c := range e.Children {
+			if c == Nil {
+				kids = append(kids, "nil")
+			} else {
+				kids = append(kids, fmt.Sprint(c))
+			}
+		}
+		fmt.Fprintf(&b, "%-7s %-6d %-6s %-16s %-4d\n",
+			e.Op, e.FlowID, parent, strings.Join(kids, " "), e.Step)
+	}
+	return b.String()
+}

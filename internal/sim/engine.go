@@ -1,0 +1,116 @@
+// Package sim provides a minimal discrete-event simulation engine used by
+// the network simulators. Time is measured in integer cycles of the router
+// clock (1 GHz in the paper's configuration, so one cycle is one
+// nanosecond).
+package sim
+
+import "container/heap"
+
+// Time is a simulation timestamp in clock cycles.
+type Time uint64
+
+// Event is a callback scheduled to run at a particular simulation time.
+type Event struct {
+	At Time
+	Fn func()
+
+	// seq breaks ties so that events scheduled earlier at the same cycle
+	// run first, keeping runs deterministic.
+	seq uint64
+	idx int
+}
+
+// Engine is a discrete-event simulator driven by a binary-heap event queue.
+// The zero value is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventQueue
+	nextID uint64
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (at < Now) runs the event at the current time instead; this keeps
+// zero-latency feedback loops well defined.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.nextID}
+	e.nextID++
+	heap.Push(&e.queue, ev)
+}
+
+// After enqueues fn to run delay cycles from now.
+func (e *Engine) After(delay Time, fn func()) {
+	e.Schedule(e.now+delay, fn)
+}
+
+// Pending reports the number of events waiting to run.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Step runs the single earliest pending event and returns true, or returns
+// false if the queue is empty.
+func (e *Engine) Step() bool {
+	if e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	ev.Fn()
+	return true
+}
+
+// Run executes events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline. It returns true if
+// the queue drained, false if it stopped at the deadline with work pending.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for e.queue.Len() > 0 {
+		if e.queue[0].At > deadline {
+			return false
+		}
+		e.Step()
+	}
+	return true
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.idx = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

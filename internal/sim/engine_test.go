@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	if end := e.Run(); end != 30 {
+		t.Errorf("final time = %d, want 30", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("events ran in order %v", got)
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNesting(t *testing.T) {
+	var e Engine
+	var at []Time
+	e.After(10, func() {
+		at = append(at, e.Now())
+		e.After(5, func() { at = append(at, e.Now()) })
+	})
+	e.Run()
+	if len(at) != 2 || at[0] != 10 || at[1] != 15 {
+		t.Errorf("nested After times = %v, want [10 15]", at)
+	}
+}
+
+func TestSchedulePastClampsToNow(t *testing.T) {
+	var e Engine
+	ran := Time(0)
+	e.Schedule(100, func() {
+		e.Schedule(50, func() { ran = e.Now() })
+	})
+	e.Run()
+	if ran != 100 {
+		t.Errorf("past event ran at %d, want clamped to 100", ran)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i*10, func() { count++ })
+	}
+	if drained := e.RunUntil(50); drained {
+		t.Error("RunUntil(50) claims drained with events pending")
+	}
+	if count != 5 {
+		t.Errorf("ran %d events by t=50, want 5", count)
+	}
+	if e.Pending() != 5 {
+		t.Errorf("%d pending, want 5", e.Pending())
+	}
+	if !e.RunUntil(1000) {
+		t.Error("RunUntil(1000) should drain")
+	}
+	if count != 10 {
+		t.Errorf("ran %d events total, want 10", count)
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+// TestTimeMonotonic is a property test: however events are scheduled, the
+// engine dispatches them in nondecreasing time order.
+func TestTimeMonotonic(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var e Engine
+		var seen []Time
+		for _, d := range delays {
+			at := Time(d)
+			e.Schedule(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

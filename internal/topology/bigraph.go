@@ -1,0 +1,93 @@
+package topology
+
+import "fmt"
+
+// BiGraph builds the EFLOPS two-stage fully connected switch fabric: two
+// layers of `perLayer` switches with a full bipartite interconnect between
+// the layers, and `nodesPerSwitch` end nodes attached to every switch. The
+// paper's 32-node "4x8" BiGraph is BiGraph(4, 4) (4 switches per layer,
+// 4 nodes per switch = 8 switches, 32 nodes) and the 64-node "4x16" is
+// BiGraph(8, 4).
+//
+// Node ids interleave the layers so that even nodes attach to upper
+// switches and odd nodes attach to lower switches: node 2i+0 is the i-th
+// upper-layer node, node 2i+1 the i-th lower-layer node. This layout makes
+// the HDRM popcount rank mapping (internal/hdrm) a pure rank permutation.
+//
+// Routing between nodes on opposite layers takes the single bipartite link
+// between their switches; between same-layer nodes it relays through the
+// opposite-layer switch with the same index (or index+1 when the two nodes
+// share a switch is not needed: same-switch pairs route through the shared
+// switch directly).
+func BiGraph(perLayer, nodesPerSwitch int, cfg LinkConfig) *Topology {
+	if perLayer < 1 || nodesPerSwitch < 1 {
+		panic("topology: bigraph parameters must be positive")
+	}
+	n := 2 * perLayer * nodesPerSwitch
+	b := newBuilder(fmt.Sprintf("bigraph-%dn", n), Indirect, n, 2*perLayer)
+	t := b.t
+	upper := func(i int) int { return t.SwitchVertex(i) }
+	lower := func(i int) int { return t.SwitchVertex(perLayer + i) }
+	// Node <-> switch NIC links. Even nodes upper, odd nodes lower.
+	for node := 0; node < n; node++ {
+		b.addDuplex(node, bigraphSwitch(t, perLayer, nodesPerSwitch, node), cfg)
+	}
+	// Full bipartite inter-layer links.
+	for u := 0; u < perLayer; u++ {
+		for l := 0; l < perLayer; l++ {
+			b.addDuplex(upper(u), lower(l), cfg)
+		}
+	}
+	t.route = func(t *Topology, src, dst NodeID) []LinkID {
+		srcSw := bigraphSwitch(t, perLayer, nodesPerSwitch, int(src))
+		dstSw := bigraphSwitch(t, perLayer, nodesPerSwitch, int(dst))
+		path := []LinkID{t.linkBetween(int(src), srcSw)}
+		switch {
+		case srcSw == dstSw:
+			// Same switch: one hop through it.
+		case (int(src)%2 == 0) != (int(dst)%2 == 0):
+			// Opposite layers: the direct bipartite link.
+			path = append(path, t.linkBetween(srcSw, dstSw))
+		default:
+			// Same layer: relay via the opposite-layer switch with the
+			// source switch's index.
+			var relay int
+			idx := (srcSw - t.nodes) % perLayer
+			if int(src)%2 == 0 {
+				relay = lower(idx)
+			} else {
+				relay = upper(idx)
+			}
+			path = append(path,
+				t.linkBetween(srcSw, relay),
+				t.linkBetween(relay, dstSw))
+		}
+		return append(path, t.linkBetween(dstSw, int(dst)))
+	}
+	// Ring embedding: switch-major order so consecutive nodes share a
+	// switch where possible.
+	order := make([]NodeID, 0, n)
+	for s := 0; s < 2*perLayer; s++ {
+		for k := 0; k < nodesPerSwitch; k++ {
+			layerIdx := s % perLayer
+			slot := layerIdx*nodesPerSwitch + k
+			if s < perLayer {
+				order = append(order, NodeID(2*slot))
+			} else {
+				order = append(order, NodeID(2*slot+1))
+			}
+		}
+	}
+	t.ringOrder = order
+	return t
+}
+
+// bigraphSwitch returns the switch vertex a node attaches to.
+func bigraphSwitch(t *Topology, perLayer, nodesPerSwitch, node int) int {
+	slot := node / 2 // position among this layer's nodes
+	swIdx := slot / nodesPerSwitch
+	if node%2 == 0 {
+		return t.SwitchVertex(swIdx)
+	}
+	return t.SwitchVertex(perLayer + swIdx)
+}

@@ -1,0 +1,96 @@
+package topology
+
+import "fmt"
+
+// Dragonfly builds the canonical dragonfly of Kim et al., the large-scale
+// low-diameter fabric class the paper's §VII points MultiTree toward:
+// `groups` groups of `routersPerGroup` routers, each router hosting
+// `nodesPerRouter` accelerators; routers within a group are completely
+// connected, and every router owns global links so that each group pair
+// is joined by at least one global channel.
+//
+// Global link assignment is the standard arrangement: group g's router r
+// connects to the group whose index is g's r-th "other group" (one global
+// port per router when routersPerGroup >= groups-1).
+func Dragonfly(groups, routersPerGroup, nodesPerRouter int, cfg LinkConfig) *Topology {
+	if groups < 2 || routersPerGroup < 1 || nodesPerRouter < 1 {
+		panic("topology: dragonfly parameters must be positive (>= 2 groups)")
+	}
+	if routersPerGroup < groups-1 {
+		panic("topology: dragonfly needs routersPerGroup >= groups-1 for full global connectivity")
+	}
+	n := groups * routersPerGroup * nodesPerRouter
+	b := newBuilder(fmt.Sprintf("dragonfly-%dn", n), Indirect, n, groups*routersPerGroup)
+	t := b.t
+	router := func(g, r int) int { return t.SwitchVertex(g*routersPerGroup + r) }
+	// Node <-> router NIC links.
+	for node := 0; node < n; node++ {
+		g := node / (routersPerGroup * nodesPerRouter)
+		r := node / nodesPerRouter % routersPerGroup
+		b.addDuplex(node, router(g, r), cfg)
+	}
+	// Intra-group complete graph.
+	for g := 0; g < groups; g++ {
+		for r1 := 0; r1 < routersPerGroup; r1++ {
+			for r2 := r1 + 1; r2 < routersPerGroup; r2++ {
+				b.addDuplex(router(g, r1), router(g, r2), cfg)
+			}
+		}
+	}
+	// Global links: group g's router r reaches peer group p = the r-th
+	// group other than g; the peer's inbound port is chosen symmetrically,
+	// adding each global channel once (from the lower group id).
+	peerOf := func(g, r int) int {
+		p := r
+		if p >= g {
+			p++
+		}
+		return p
+	}
+	portFor := func(g, p int) int {
+		r := p
+		if r > g {
+			r--
+		}
+		return r
+	}
+	for g := 0; g < groups; g++ {
+		for r := 0; r < groups-1; r++ {
+			p := peerOf(g, r)
+			if p < g {
+				continue // added from the other side
+			}
+			b.addDuplex(router(g, r), router(p, portFor(p, g)), cfg)
+		}
+	}
+	t.route = func(t *Topology, src, dst NodeID) []LinkID {
+		return dragonflyRoute(t, groups, routersPerGroup, nodesPerRouter, src, dst, portFor)
+	}
+	// Ring embedding: node ids are already group/router-major.
+	return t
+}
+
+// dragonflyRoute performs minimal routing: local hop(s) to the router
+// holding the right global port, one global hop, local hop(s) to the
+// destination router.
+func dragonflyRoute(t *Topology, groups, rpg, npr int, src, dst NodeID, portFor func(g, p int) int) []LinkID {
+	router := func(g, r int) int { return t.SwitchVertex(g*rpg + r) }
+	sg, sr := int(src)/(rpg*npr), int(src)/npr%rpg
+	dg, dr := int(dst)/(rpg*npr), int(dst)/npr%rpg
+	path := []LinkID{t.linkBetween(int(src), router(sg, sr))}
+	cur := router(sg, sr)
+	hopTo := func(v int) {
+		if v != cur {
+			path = append(path, t.linkBetween(cur, v))
+			cur = v
+		}
+	}
+	if sg != dg {
+		out := router(sg, portFor(sg, dg))
+		hopTo(out)
+		hopTo(router(dg, portFor(dg, sg)))
+	}
+	hopTo(router(dg, dr))
+	path = append(path, t.linkBetween(cur, int(dst)))
+	return path
+}

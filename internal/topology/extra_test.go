@@ -1,0 +1,88 @@
+package topology
+
+import "testing"
+
+func TestTorus3DStructure(t *testing.T) {
+	topo := Torus3D(4, 4, 4, cfg())
+	if topo.Nodes() != 64 || topo.Switches() != 0 {
+		t.Fatalf("torus3d-4x4x4: %d nodes %d switches", topo.Nodes(), topo.Switches())
+	}
+	// Every node has 6 out-links on a wrapped 4^3 torus.
+	for v := 0; v < topo.Nodes(); v++ {
+		if deg := len(topo.Out(v)); deg != 6 {
+			t.Fatalf("node %d has degree %d, want 6", v, deg)
+		}
+	}
+	if d := topo.Diameter(); d != 6 {
+		t.Errorf("diameter = %d, want 6 (2+2+2)", d)
+	}
+}
+
+func TestMesh3DStructure(t *testing.T) {
+	topo := Mesh3D(2, 3, 4, cfg())
+	if topo.Nodes() != 24 {
+		t.Fatalf("mesh3d-2x3x4: %d nodes", topo.Nodes())
+	}
+	if d := topo.Diameter(); d != 1+2+3 {
+		t.Errorf("diameter = %d, want 6", d)
+	}
+}
+
+func TestGrid3DRoutesValid(t *testing.T) {
+	for _, topo := range []*Topology{
+		Torus3D(3, 3, 3, cfg()),
+		Mesh3D(2, 3, 2, cfg()),
+	} {
+		for s := 0; s < topo.Nodes(); s++ {
+			for d := 0; d < topo.Nodes(); d++ {
+				checkPath(t, topo, NodeID(s), NodeID(d), topo.Route(NodeID(s), NodeID(d)))
+			}
+		}
+	}
+}
+
+func TestSnake3DIsHamiltonianPath(t *testing.T) {
+	topo := Torus3D(4, 4, 2, cfg())
+	order := topo.RingOrder()
+	seen := map[NodeID]bool{}
+	for i, n := range order {
+		if seen[n] {
+			t.Fatalf("node %d visited twice", n)
+		}
+		seen[n] = true
+		if i > 0 {
+			if hops := len(topo.Route(order[i-1], n)); hops != 1 {
+				t.Fatalf("snake3d neighbors %d->%d are %d hops apart", order[i-1], n, hops)
+			}
+		}
+	}
+	if len(seen) != topo.Nodes() {
+		t.Fatalf("snake visits %d of %d nodes", len(seen), topo.Nodes())
+	}
+}
+
+func TestDragonflyStructure(t *testing.T) {
+	topo := Dragonfly(4, 4, 2, cfg()) // 32 nodes, 16 routers
+	if topo.Nodes() != 32 || topo.Switches() != 16 {
+		t.Fatalf("dragonfly: %d nodes %d switches", topo.Nodes(), topo.Switches())
+	}
+	for s := 0; s < topo.Nodes(); s++ {
+		for d := 0; d < topo.Nodes(); d++ {
+			path := topo.Route(NodeID(s), NodeID(d))
+			checkPath(t, topo, NodeID(s), NodeID(d), path)
+			// Minimal routing: at most NIC + 2 local + 1 global + NIC.
+			if s != d && len(path) > 5 {
+				t.Fatalf("route %d->%d has %d hops", s, d, len(path))
+			}
+		}
+	}
+}
+
+func TestDragonflyRejectsUnderProvisioned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("under-provisioned dragonfly did not panic")
+		}
+	}()
+	Dragonfly(8, 2, 1, cfg()) // 2 routers cannot reach 7 peer groups
+}

@@ -1,0 +1,48 @@
+package topology
+
+import "fmt"
+
+// FatTree builds a two-level fat tree: `leaves` leaf switches each hosting
+// `nodesPerLeaf` end nodes, and `spines` root switches, with one
+// full-duplex cable between every (leaf, spine) pair. The 16-node DGX-2
+// -like network of the paper is FatTree(4, 4, 4); the 64-node 8-ary
+// two-level fat tree is FatTree(8, 8, 8).
+//
+// Routing is deterministic up/down with destination-mod-k spine selection,
+// the standard D-mod-k scheme that spreads flows across spines without
+// adaptivity.
+func FatTree(leaves, nodesPerLeaf, spines int, cfg LinkConfig) *Topology {
+	if leaves < 1 || nodesPerLeaf < 1 || spines < 1 {
+		panic("topology: fat-tree parameters must be positive")
+	}
+	n := leaves * nodesPerLeaf
+	b := newBuilder(fmt.Sprintf("fattree-%dn", n), Indirect, n, leaves+spines)
+	t := b.t
+	leafVertex := func(l int) int { return t.SwitchVertex(l) }
+	spineVertex := func(s int) int { return t.SwitchVertex(leaves + s) }
+	// Node <-> leaf NIC links.
+	for node := 0; node < n; node++ {
+		b.addDuplex(node, leafVertex(node/nodesPerLeaf), cfg)
+	}
+	// Leaf <-> spine links.
+	for l := 0; l < leaves; l++ {
+		for s := 0; s < spines; s++ {
+			b.addDuplex(leafVertex(l), spineVertex(s), cfg)
+		}
+	}
+	t.route = func(t *Topology, src, dst NodeID) []LinkID {
+		srcLeaf := leafVertex(int(src) / nodesPerLeaf)
+		dstLeaf := leafVertex(int(dst) / nodesPerLeaf)
+		path := []LinkID{t.linkBetween(int(src), srcLeaf)}
+		if srcLeaf != dstLeaf {
+			spine := spineVertex(int(dst) % spines)
+			path = append(path,
+				t.linkBetween(srcLeaf, spine),
+				t.linkBetween(spine, dstLeaf))
+		}
+		return append(path, t.linkBetween(dstLeaf, int(dst)))
+	}
+	// Ring embedding: node ids are already leaf-major, so consecutive ring
+	// neighbors share a leaf switch except at leaf boundaries.
+	return t
+}

@@ -1,0 +1,131 @@
+package topology
+
+import "fmt"
+
+// Mesh builds an nx-by-ny 2D mesh direct network. Node (x, y) is node id
+// y*nx + x. Outgoing links are added Y-dimension first, then X, matching
+// the neighbor-preference order Algorithm 1 of the paper uses during link
+// allocation.
+func Mesh(nx, ny int, cfg LinkConfig) *Topology {
+	return grid(fmt.Sprintf("mesh-%dx%d", nx, ny), nx, ny, false, cfg)
+}
+
+// Torus builds an nx-by-ny 2D torus direct network with wrap-around links
+// in both dimensions.
+func Torus(nx, ny int, cfg LinkConfig) *Topology {
+	return grid(fmt.Sprintf("torus-%dx%d", nx, ny), nx, ny, true, cfg)
+}
+
+func grid(name string, nx, ny int, wrap bool, cfg LinkConfig) *Topology {
+	if nx < 2 || ny < 2 {
+		panic("topology: grid dimensions must be at least 2x2")
+	}
+	b := newBuilder(name, Direct, nx*ny, 0)
+	t := b.t
+	t.nx, t.ny = nx, ny
+	t.coords = make([]Coord, nx*ny)
+	node := func(x, y int) int { return y*nx + x }
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			t.coords[node(x, y)] = Coord{X: x, Y: y}
+		}
+	}
+	// Y-dimension links first (preference order of §III-C1), then X.
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := node(x, y)
+			if y+1 < ny {
+				b.addLink(v, node(x, y+1), cfg)
+			} else if wrap && ny > 2 {
+				b.addLink(v, node(x, 0), cfg)
+			}
+			if y > 0 {
+				b.addLink(v, node(x, y-1), cfg)
+			} else if wrap && ny > 2 {
+				b.addLink(v, node(x, ny-1), cfg)
+			}
+		}
+	}
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := node(x, y)
+			if x+1 < nx {
+				b.addLink(v, node(x+1, y), cfg)
+			} else if wrap && nx > 2 {
+				b.addLink(v, node(0, y), cfg)
+			}
+			if x > 0 {
+				b.addLink(v, node(x-1, y), cfg)
+			} else if wrap && nx > 2 {
+				b.addLink(v, node(nx-1, y), cfg)
+			}
+		}
+	}
+	t.route = func(t *Topology, src, dst NodeID) []LinkID {
+		return gridRoute(t, src, dst, wrap)
+	}
+	t.ringOrder = snakeOrder(nx, ny)
+	return t
+}
+
+// gridRoute implements X-then-Y dimension-order routing. On a torus it
+// takes the shorter wrap-around direction, breaking ties toward the
+// positive direction.
+func gridRoute(t *Topology, src, dst NodeID, wrap bool) []LinkID {
+	cur := t.coords[src]
+	goal := t.coords[dst]
+	var path []LinkID
+	step := func(from Coord, dx, dy int) Coord {
+		next := Coord{X: mod(from.X+dx, t.nx), Y: mod(from.Y+dy, t.ny)}
+		path = append(path, t.linkBetween(next2id(t, from), next2id(t, next)))
+		return next
+	}
+	for cur.X != goal.X {
+		cur = step(cur, gridDir(cur.X, goal.X, t.nx, wrap), 0)
+	}
+	for cur.Y != goal.Y {
+		cur = step(cur, 0, gridDir(cur.Y, goal.Y, t.ny, wrap))
+	}
+	return path
+}
+
+func next2id(t *Topology, c Coord) int { return c.Y*t.nx + c.X }
+
+func mod(a, n int) int { return ((a % n) + n) % n }
+
+// gridDir returns +1 or -1: the direction to move one hop from cur toward
+// goal along a dimension of length n.
+func gridDir(cur, goal, n int, wrap bool) int {
+	if !wrap || n <= 2 {
+		if goal > cur {
+			return 1
+		}
+		return -1
+	}
+	fwd := mod(goal-cur, n)
+	bwd := mod(cur-goal, n)
+	if fwd <= bwd {
+		return 1
+	}
+	return -1
+}
+
+// snakeOrder returns a boustrophedon Hamiltonian ordering: row 0
+// left-to-right, row 1 right-to-left, and so on. Consecutive nodes are
+// physically adjacent; only the closing edge of the ring may be multi-hop
+// (single-hop on a torus with an even row count).
+func snakeOrder(nx, ny int) []NodeID {
+	order := make([]NodeID, 0, nx*ny)
+	for y := 0; y < ny; y++ {
+		if y%2 == 0 {
+			for x := 0; x < nx; x++ {
+				order = append(order, NodeID(y*nx+x))
+			}
+		} else {
+			for x := nx - 1; x >= 0; x-- {
+				order = append(order, NodeID(y*nx+x))
+			}
+		}
+	}
+	return order
+}

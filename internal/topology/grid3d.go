@@ -1,0 +1,101 @@
+package topology
+
+import "fmt"
+
+// Torus3D builds an nx-by-ny-by-nz 3D torus — the pod fabric of newer
+// TPU generations. Node (x, y, z) is id (z*ny + y)*nx + x. Out-links are
+// ordered Z, then Y, then X, extending the paper's
+// higher-dimension-first allocation preference to three dimensions.
+// MultiTree needs no changes to schedule on it (§VII's generality claim);
+// 2D-Ring does not apply.
+func Torus3D(nx, ny, nz int, cfg LinkConfig) *Topology {
+	return grid3d(fmt.Sprintf("torus3d-%dx%dx%d", nx, ny, nz), nx, ny, nz, true, cfg)
+}
+
+// Mesh3D builds an nx-by-ny-by-nz 3D mesh.
+func Mesh3D(nx, ny, nz int, cfg LinkConfig) *Topology {
+	return grid3d(fmt.Sprintf("mesh3d-%dx%dx%d", nx, ny, nz), nx, ny, nz, false, cfg)
+}
+
+func grid3d(name string, nx, ny, nz int, wrap bool, cfg LinkConfig) *Topology {
+	if nx < 2 || ny < 2 || nz < 2 {
+		panic("topology: 3D grid dimensions must be at least 2x2x2")
+	}
+	b := newBuilder(name, Direct, nx*ny*nz, 0)
+	t := b.t
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	// One pass per dimension, highest dimension first, +dir then -dir,
+	// mirroring the 2D grid builder's preference order.
+	type dim struct{ dx, dy, dz, n int }
+	dims := []dim{{0, 0, 1, nz}, {0, 1, 0, ny}, {1, 0, 0, nx}}
+	for _, d := range dims {
+		for z := 0; z < nz; z++ {
+			for y := 0; y < ny; y++ {
+				for x := 0; x < nx; x++ {
+					v := id(x, y, z)
+					cur := x*d.dx + y*d.dy + z*d.dz
+					if cur+1 < d.n {
+						b.addLink(v, id(x+d.dx, y+d.dy, z+d.dz), cfg)
+					} else if wrap && d.n > 2 {
+						// Only the active dimension overflows; mod is a
+						// no-op on the others.
+						b.addLink(v, id((x+d.dx)%nx, (y+d.dy)%ny, (z+d.dz)%nz), cfg)
+					}
+					if cur > 0 {
+						b.addLink(v, id(x-d.dx, y-d.dy, z-d.dz), cfg)
+					} else if wrap && d.n > 2 {
+						b.addLink(v, id((x-d.dx+nx)%nx, (y-d.dy+ny)%ny, (z-d.dz+nz)%nz), cfg)
+					}
+				}
+			}
+		}
+	}
+	t.route = func(t *Topology, src, dst NodeID) []LinkID {
+		return grid3dRoute(t, nx, ny, nz, wrap, src, dst)
+	}
+	t.ringOrder = snake3D(nx, ny, nz)
+	return t
+}
+
+// grid3dRoute implements X-then-Y-then-Z dimension-order routing with
+// shortest wrap selection on tori.
+func grid3dRoute(t *Topology, nx, ny, nz int, wrap bool, src, dst NodeID) []LinkID {
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	sx, sy, sz := int(src)%nx, int(src)/nx%ny, int(src)/(nx*ny)
+	dx, dy, dz := int(dst)%nx, int(dst)/nx%ny, int(dst)/(nx*ny)
+	var path []LinkID
+	step := func(cx, cy, cz, mx, my, mz int) (int, int, int) {
+		nxt := id(mod(cx+mx, nx), mod(cy+my, ny), mod(cz+mz, nz))
+		path = append(path, t.linkBetween(id(cx, cy, cz), nxt))
+		return mod(cx+mx, nx), mod(cy+my, ny), mod(cz+mz, nz)
+	}
+	for sx != dx {
+		sx, sy, sz = step(sx, sy, sz, gridDir(sx, dx, nx, wrap), 0, 0)
+	}
+	for sy != dy {
+		sx, sy, sz = step(sx, sy, sz, 0, gridDir(sy, dy, ny, wrap), 0)
+	}
+	for sz != dz {
+		sx, sy, sz = step(sx, sy, sz, 0, 0, gridDir(sz, dz, nz, wrap))
+	}
+	return path
+}
+
+// snake3D stacks 2D boustrophedon planes, alternating plane traversal
+// direction, so consecutive ring neighbors stay physically adjacent.
+func snake3D(nx, ny, nz int) []NodeID {
+	var order []NodeID
+	plane := snakeOrder(nx, ny)
+	for z := 0; z < nz; z++ {
+		if z%2 == 0 {
+			for _, n := range plane {
+				order = append(order, NodeID(z*nx*ny)+n)
+			}
+		} else {
+			for i := len(plane) - 1; i >= 0; i-- {
+				order = append(order, NodeID(z*nx*ny)+plane[i])
+			}
+		}
+	}
+	return order
+}

@@ -1,0 +1,123 @@
+// Package topospec parses the compact topology names used by the command
+// line tools and benchmark harness, e.g. "torus-8x8", "mesh-4x4",
+// "fattree-16", "fattree-64", "bigraph-32", "bigraph-64".
+package topospec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"multitree/internal/topology"
+)
+
+// Parse builds the named topology with Table III link parameters.
+func Parse(spec string) (*topology.Topology, error) {
+	cfg := topology.DefaultLinkConfig()
+	kind, arg, ok := strings.Cut(spec, "-")
+	if !ok {
+		return nil, fmt.Errorf("topospec: %q is not <kind>-<size>", spec)
+	}
+	switch kind {
+	case "torus", "mesh":
+		xs, ys, ok := strings.Cut(arg, "x")
+		if !ok {
+			return nil, fmt.Errorf("topospec: %q needs <nx>x<ny>", spec)
+		}
+		nx, err1 := strconv.Atoi(xs)
+		ny, err2 := strconv.Atoi(ys)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("topospec: bad grid size in %q", spec)
+		}
+		if kind == "torus" {
+			return topology.Torus(nx, ny, cfg), nil
+		}
+		return topology.Mesh(nx, ny, cfg), nil
+	case "torus3d", "mesh3d":
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topospec: %q needs <nx>x<ny>x<nz>", spec)
+		}
+		var d [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("topospec: bad grid size in %q", spec)
+			}
+			d[i] = v
+		}
+		if kind == "torus3d" {
+			return topology.Torus3D(d[0], d[1], d[2], cfg), nil
+		}
+		return topology.Mesh3D(d[0], d[1], d[2], cfg), nil
+	case "dragonfly":
+		// dragonfly-<groups>x<routers>x<nodesPerRouter>
+		parts := strings.Split(arg, "x")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("topospec: %q needs <groups>x<routers>x<nodes>", spec)
+		}
+		var d [3]int
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("topospec: bad dragonfly size in %q", spec)
+			}
+			d[i] = v
+		}
+		return topology.Dragonfly(d[0], d[1], d[2], cfg), nil
+	case "fattree":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topospec: bad fat-tree size in %q", spec)
+		}
+		switch n {
+		case 16:
+			// DGX-2-like: 4 leaves x 4 nodes, 4 spines (§VI-A).
+			return topology.FatTree(4, 4, 4, cfg), nil
+		case 64:
+			// 8-ary 2-level fat tree.
+			return topology.FatTree(8, 8, 8, cfg), nil
+		default:
+			// k-ary 2-level: k leaves of k nodes with k spines.
+			k := isqrt(n)
+			if k*k != n {
+				return nil, fmt.Errorf("topospec: fat-tree size %d is not a square", n)
+			}
+			return topology.FatTree(k, k, k, cfg), nil
+		}
+	case "bigraph":
+		n, err := strconv.Atoi(arg)
+		if err != nil {
+			return nil, fmt.Errorf("topospec: bad bigraph size in %q", spec)
+		}
+		// Four nodes per switch as in EFLOPS's 32- and 64-node systems.
+		if n%8 != 0 {
+			return nil, fmt.Errorf("topospec: bigraph size %d is not a multiple of 8", n)
+		}
+		return topology.BiGraph(n/8, 4, cfg), nil
+	}
+	return nil, fmt.Errorf("topospec: unknown topology kind %q", kind)
+}
+
+// TorusFor returns the near-square 2D torus with n nodes used by the
+// scalability study (Fig. 10): 16 -> 4x4, 32 -> 4x8, 64 -> 8x8,
+// 128 -> 8x16, 256 -> 16x16.
+func TorusFor(n int) (*topology.Topology, error) {
+	ny := isqrt(n)
+	for ny > 1 && n%ny != 0 {
+		ny--
+	}
+	nx := n / ny
+	if nx < 2 || ny < 2 {
+		return nil, fmt.Errorf("topospec: cannot shape %d nodes into a torus", n)
+	}
+	return topology.Torus(nx, ny, topology.DefaultLinkConfig()), nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}

@@ -1,0 +1,83 @@
+package topospec
+
+import "testing"
+
+func TestParseGood(t *testing.T) {
+	cases := map[string]struct {
+		nodes    int
+		switches int
+	}{
+		"torus-4x4":  {16, 0},
+		"torus-8x8":  {64, 0},
+		"mesh-4x8":   {32, 0},
+		"fattree-16": {16, 8},
+		"fattree-64": {64, 16},
+		"bigraph-32": {32, 8},
+		"bigraph-64": {64, 16},
+	}
+	for spec, want := range cases {
+		topo, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if topo.Nodes() != want.nodes || topo.Switches() != want.switches {
+			t.Errorf("Parse(%q) = %d nodes %d switches, want %d/%d",
+				spec, topo.Nodes(), topo.Switches(), want.nodes, want.switches)
+		}
+	}
+}
+
+func TestParseBad(t *testing.T) {
+	for _, spec := range []string{"", "torus", "torus-4", "ring-8", "mesh-axb", "bigraph-30", "fattree-x"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) did not error", spec)
+		}
+	}
+}
+
+func TestTorusFor(t *testing.T) {
+	shapes := map[int][2]int{
+		16:  {4, 4},
+		32:  {8, 4},
+		64:  {8, 8},
+		128: {16, 8},
+		256: {16, 16},
+	}
+	for n, want := range shapes {
+		topo, err := TorusFor(n)
+		if err != nil {
+			t.Fatalf("TorusFor(%d): %v", n, err)
+		}
+		nx, ny := topo.GridDims()
+		if nx*ny != n || (nx != want[0] && nx != want[1]) {
+			t.Errorf("TorusFor(%d) = %dx%d", n, nx, ny)
+		}
+	}
+	if _, err := TorusFor(7); err == nil {
+		t.Error("TorusFor(7) did not error (prime)")
+	}
+}
+
+func TestParseExtendedFabrics(t *testing.T) {
+	cases := map[string]int{
+		"torus3d-4x4x4":   64,
+		"mesh3d-2x3x4":    24,
+		"dragonfly-4x4x2": 32,
+	}
+	for spec, nodes := range cases {
+		topo, err := Parse(spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", spec, err)
+			continue
+		}
+		if topo.Nodes() != nodes {
+			t.Errorf("Parse(%q) = %d nodes, want %d", spec, topo.Nodes(), nodes)
+		}
+	}
+	for _, bad := range []string{"torus3d-4x4", "dragonfly-4x4", "mesh3d-axbxc"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) did not error", bad)
+		}
+	}
+}

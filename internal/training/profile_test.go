@@ -1,0 +1,41 @@
+package training_test
+
+import (
+	"testing"
+
+	"multitree/internal/model"
+)
+
+// TestProfileSumsMatchBreakdown: per-layer profile rows add up to the
+// network totals the iteration simulation uses.
+func TestProfileSumsMatchBreakdown(t *testing.T) {
+	cfg := config(t, "multitree")
+	net := model.GoogLeNet()
+	rows, err := cfg.Profile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(net.Layers) {
+		t.Fatalf("%d rows for %d layers", len(rows), len(net.Layers))
+	}
+	var fwd, bwd uint64
+	var params int64
+	for _, r := range rows {
+		fwd += uint64(r.ForwardCycles)
+		bwd += uint64(r.BackwardCycles)
+		params += r.Params
+		if r.Params > 0 && r.AllReduceCycles == 0 {
+			t.Errorf("layer %s has parameters but zero all-reduce time", r.Name)
+		}
+	}
+	b, err := cfg.NonOverlapped(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwd != uint64(b.Forward) || bwd != uint64(b.Backward) {
+		t.Errorf("profile sums fwd=%d bwd=%d, breakdown %d/%d", fwd, bwd, b.Forward, b.Backward)
+	}
+	if params != net.Params() {
+		t.Errorf("profile params %d != network %d", params, net.Params())
+	}
+}

@@ -1,0 +1,164 @@
+// Package training simulates one data-parallel training iteration (§V-B,
+// Fig. 11): forward and back-propagation compute on every node's
+// accelerator, plus the gradient all-reduce, in two modes:
+//
+//   - NonOverlapped: forward + backward + one all-reduce of the full
+//     gradient (Fig. 11a);
+//   - Overlapped: layer-wise all-reduce — each layer's gradient is queued
+//     for all-reduce as soon as its backward pass finishes, so
+//     communication overlaps the remaining back-propagation (Fig. 11b).
+package training
+
+import (
+	"fmt"
+
+	"multitree/internal/accel"
+	"multitree/internal/collective"
+	"multitree/internal/model"
+	"multitree/internal/network"
+	"multitree/internal/sim"
+	"multitree/internal/topology"
+)
+
+// ScheduleBuilder constructs an all-reduce schedule for elems gradient
+// elements on a topology; each algorithm package provides one.
+type ScheduleBuilder func(topo *topology.Topology, elems int) (*collective.Schedule, error)
+
+// Engine executes a schedule; network.SimulateFluid or
+// network.SimulatePackets.
+type Engine func(*collective.Schedule, network.Config) (*network.Result, error)
+
+// Config assembles a training system.
+type Config struct {
+	Topo         *topology.Topology
+	Accel        accel.Accelerator
+	BatchPerNode int // 16 in the paper
+	Net          network.Config
+	Build        ScheduleBuilder
+	Engine       Engine // nil selects the fluid engine
+
+	// FusionBytes, when positive, coalesces consecutive finished layers
+	// into one all-reduce until the bucket reaches this many gradient
+	// bytes — the Horovod-style gradient fusion extension to the paper's
+	// pure layer-wise scheme. It amortizes per-collective latency for
+	// networks with many small layers; zero keeps the paper's behaviour.
+	FusionBytes int64
+}
+
+// Breakdown reports one iteration's time composition in cycles.
+type Breakdown struct {
+	Forward  sim.Time
+	Backward sim.Time
+
+	// Comm is the total all-reduce busy time; Exposed is the part not
+	// hidden under compute (equal to Comm in non-overlapped mode);
+	// Overlap is Comm - Exposed.
+	Comm    sim.Time
+	Exposed sim.Time
+	Overlap sim.Time
+
+	Total sim.Time
+}
+
+// Compute returns forward + backward time.
+func (b Breakdown) Compute() sim.Time { return b.Forward + b.Backward }
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("fwd=%d bwd=%d comm=%d (exposed %d, overlapped %d) total=%d",
+		b.Forward, b.Backward, b.Comm, b.Exposed, b.Overlap, b.Total)
+}
+
+func (c Config) engine() Engine {
+	if c.Engine != nil {
+		return c.Engine
+	}
+	return network.SimulateFluid
+}
+
+// allReduceCycles simulates an all-reduce of elems gradient elements.
+func (c Config) allReduceCycles(elems int) (sim.Time, error) {
+	if elems <= 0 {
+		return 0, nil
+	}
+	s, err := c.Build(c.Topo, elems)
+	if err != nil {
+		return 0, err
+	}
+	res, err := c.engine()(s, c.Net)
+	if err != nil {
+		return 0, err
+	}
+	return res.Cycles, nil
+}
+
+// NonOverlapped simulates forward + back-propagation + one full-gradient
+// all-reduce (Fig. 11a's training approach).
+func (c Config) NonOverlapped(net model.Network) (Breakdown, error) {
+	var b Breakdown
+	b.Forward = sim.Time(c.Accel.NetworkForwardCycles(net, c.BatchPerNode))
+	b.Backward = sim.Time(c.Accel.NetworkBackwardCycles(net, c.BatchPerNode))
+	comm, err := c.allReduceCycles(int(net.Params()))
+	if err != nil {
+		return b, err
+	}
+	b.Comm = comm
+	b.Exposed = comm
+	b.Total = b.Forward + b.Backward + b.Comm
+	return b, nil
+}
+
+// Overlapped simulates layer-wise all-reduce (Fig. 11b): back-propagation
+// walks the layers in reverse; each finished layer enqueues its gradient
+// all-reduce on the network, which serves the queue in FIFO order
+// concurrently with the remaining compute.
+func (c Config) Overlapped(net model.Network) (Breakdown, error) {
+	var b Breakdown
+	b.Forward = sim.Time(c.Accel.NetworkForwardCycles(net, c.BatchPerNode))
+
+	// Back-propagation completion time per layer, last layer first.
+	now := b.Forward
+	commFree := b.Forward // network idle until gradients exist
+	var commBusy sim.Time
+	var bucket int64 // fused gradient elements pending
+	flush := func(ready sim.Time) error {
+		if bucket == 0 {
+			return nil
+		}
+		dur, err := c.allReduceCycles(int(bucket))
+		if err != nil {
+			return err
+		}
+		start := max(commFree, ready)
+		commFree = start + dur
+		commBusy += dur
+		bucket = 0
+		return nil
+	}
+	for i := len(net.Layers) - 1; i >= 0; i-- {
+		l := net.Layers[i]
+		now += sim.Time(c.Accel.BackwardCycles(l, c.BatchPerNode, i == 0))
+		bucket += l.Params()
+		if c.FusionBytes <= 0 || bucket*collective.WordSize >= c.FusionBytes || i == 0 {
+			if err := flush(now); err != nil {
+				return b, err
+			}
+		}
+	}
+	if err := flush(now); err != nil {
+		return b, err
+	}
+	b.Backward = now - b.Forward
+	b.Comm = commBusy
+	computeEnd := now
+	b.Total = max(computeEnd, commFree)
+	b.Exposed = b.Total - computeEnd
+	b.Overlap = b.Comm - b.Exposed
+	return b, nil
+}
+
+func max(a, b sim.Time) sim.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,269 @@
+package multitree
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/dbtree"
+	"multitree/internal/hdrm"
+	"multitree/internal/network"
+	"multitree/internal/ring"
+	"multitree/internal/ring2d"
+	"multitree/internal/topology"
+)
+
+// Algorithm names an all-reduce algorithm.
+type Algorithm string
+
+// The implemented all-reduce algorithms: the paper's MultiTree
+// contribution and the four baselines of its evaluation.
+const (
+	Ring      Algorithm = "ring"
+	DBTree    Algorithm = "dbtree"
+	Ring2D    Algorithm = "2d-ring"
+	HDRM      Algorithm = "hdrm"
+	MultiTree Algorithm = "multitree"
+)
+
+// Algorithms lists all supported algorithms.
+func Algorithms() []Algorithm {
+	return []Algorithm{Ring, DBTree, Ring2D, HDRM, MultiTree}
+}
+
+// LinkConfig sets the physical link parameters; the zero value selects the
+// paper's Table III configuration (16 GB/s, 150 ns).
+type LinkConfig struct {
+	BandwidthGBps float64
+	LatencyNs     int
+}
+
+func (lc LinkConfig) internal() topology.LinkConfig {
+	cfg := topology.DefaultLinkConfig()
+	if lc.BandwidthGBps > 0 {
+		cfg.Bandwidth = lc.BandwidthGBps // 1 GB/s = 1 B/cycle at 1 GHz
+	}
+	if lc.LatencyNs > 0 {
+		cfg.Latency = simTime(lc.LatencyNs)
+	}
+	return cfg
+}
+
+// Topology is an interconnection network instance.
+type Topology struct {
+	t *topology.Topology
+}
+
+// NewTorus returns an nx-by-ny 2D Torus with Table III links.
+func NewTorus(nx, ny int) *Topology { return NewTorusLinks(nx, ny, LinkConfig{}) }
+
+// NewTorusLinks returns an nx-by-ny 2D Torus with custom links.
+func NewTorusLinks(nx, ny int, lc LinkConfig) *Topology {
+	return &Topology{t: topology.Torus(nx, ny, lc.internal())}
+}
+
+// NewMesh returns an nx-by-ny 2D Mesh with Table III links.
+func NewMesh(nx, ny int) *Topology { return NewMeshLinks(nx, ny, LinkConfig{}) }
+
+// NewMeshLinks returns an nx-by-ny 2D Mesh with custom links.
+func NewMeshLinks(nx, ny int, lc LinkConfig) *Topology {
+	return &Topology{t: topology.Mesh(nx, ny, lc.internal())}
+}
+
+// NewFatTree returns a two-level fat tree: leaves leaf switches of
+// nodesPerLeaf nodes each, fully connected to spines root switches.
+func NewFatTree(leaves, nodesPerLeaf, spines int) *Topology {
+	return &Topology{t: topology.FatTree(leaves, nodesPerLeaf, spines, topology.DefaultLinkConfig())}
+}
+
+// NewBiGraph returns an EFLOPS BiGraph: two layers of perLayer switches,
+// fully connected between layers, nodesPerSwitch nodes each.
+func NewBiGraph(perLayer, nodesPerSwitch int) *Topology {
+	return &Topology{t: topology.BiGraph(perLayer, nodesPerSwitch, topology.DefaultLinkConfig())}
+}
+
+// NewTorus3D returns an nx-by-ny-by-nz 3D Torus (newer TPU-pod-style
+// fabric); MultiTree schedules it with no topology-specific code.
+func NewTorus3D(nx, ny, nz int) *Topology {
+	return &Topology{t: topology.Torus3D(nx, ny, nz, topology.DefaultLinkConfig())}
+}
+
+// NewMesh3D returns an nx-by-ny-by-nz 3D Mesh.
+func NewMesh3D(nx, ny, nz int) *Topology {
+	return &Topology{t: topology.Mesh3D(nx, ny, nz, topology.DefaultLinkConfig())}
+}
+
+// NewDragonfly returns a dragonfly fabric: groups completely connected
+// internally, one global channel per group pair, nodesPerRouter
+// accelerators per router.
+func NewDragonfly(groups, routersPerGroup, nodesPerRouter int) *Topology {
+	return &Topology{t: topology.Dragonfly(groups, routersPerGroup, nodesPerRouter, topology.DefaultLinkConfig())}
+}
+
+// Name returns the topology's name, e.g. "torus-8x8".
+func (t *Topology) Name() string { return t.t.Name() }
+
+// Nodes returns the number of accelerators.
+func (t *Topology) Nodes() int { return t.t.Nodes() }
+
+// Supports reports whether an algorithm applies to this topology:
+// 2D-Ring needs a grid, HDRM needs a power-of-two node count, DBTree needs
+// at least two nodes; Ring and MultiTree apply everywhere.
+func (t *Topology) Supports(alg Algorithm) bool {
+	switch alg {
+	case Ring2D:
+		nx, _ := t.t.GridDims()
+		return nx > 0
+	case HDRM:
+		n := t.t.Nodes()
+		return n >= 2 && n&(n-1) == 0
+	case Ring, DBTree, MultiTree:
+		return t.t.Nodes() >= 2
+	}
+	return false
+}
+
+// Schedule is a complete all-reduce communication plan, ready to simulate
+// or to execute on real data.
+type Schedule struct {
+	s *collective.Schedule
+}
+
+// BuildSchedule constructs the all-reduce schedule of an algorithm for
+// dataBytes of gradient (rounded down to whole 4-byte elements) on a
+// topology.
+func BuildSchedule(t *Topology, alg Algorithm, dataBytes int64) (*Schedule, error) {
+	elems := int(dataBytes / collective.WordSize)
+	if elems < 1 {
+		return nil, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
+	}
+	var (
+		s   *collective.Schedule
+		err error
+	)
+	switch alg {
+	case Ring:
+		s = ring.Build(t.t, elems)
+	case DBTree:
+		s, err = dbtree.Build(t.t, elems, 0)
+	case Ring2D:
+		s, err = ring2d.Build(t.t, elems)
+	case HDRM:
+		s, err = hdrm.Build(t.t, elems)
+	case MultiTree:
+		s, err = core.Build(t.t, elems, core.DefaultOptions(t.t))
+	default:
+		return nil, fmt.Errorf("multitree: unknown algorithm %q", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// Algorithm returns the schedule's algorithm name.
+func (s *Schedule) Algorithm() Algorithm { return Algorithm(s.s.Algorithm) }
+
+// Steps returns the number of algorithmic time steps.
+func (s *Schedule) Steps() int { return s.s.Steps }
+
+// Transfers returns the number of point-to-point messages.
+func (s *Schedule) Transfers() int { return len(s.s.Transfers) }
+
+// ContentionFree reports whether no two same-step transfers share a
+// physical link.
+func (s *Schedule) ContentionFree() bool {
+	return collective.Analyze(s.s).ContentionFree()
+}
+
+// BandwidthOverhead returns communicated bytes relative to the
+// bandwidth-optimal 2(N-1)/N per node (1.0 = optimal; 2D-Ring approaches
+// 2.0).
+func (s *Schedule) BandwidthOverhead() float64 {
+	return collective.Analyze(s.s).BandwidthOverhead()
+}
+
+// Verify executes the schedule's reduction semantics on synthetic vectors
+// and confirms every node ends with the global sum.
+func (s *Schedule) Verify() error {
+	elems := s.s.Elems
+	if elems > 4096 {
+		// Verification is semantic, not size-dependent; cap the vector so
+		// Verify stays cheap on multi-GiB schedules.
+		small, err := rebuild(s.s, 4096)
+		if err != nil {
+			return err
+		}
+		return collective.VerifyAllReduce(small, collective.RampInputs(small.Topo.Nodes(), small.Elems))
+	}
+	return collective.VerifyAllReduce(s.s, collective.RampInputs(s.s.Topo.Nodes(), elems))
+}
+
+// rebuild reconstructs the same algorithm's schedule at a smaller size.
+func rebuild(s *collective.Schedule, elems int) (*collective.Schedule, error) {
+	t := &Topology{t: s.Topo}
+	ns, err := BuildSchedule(t, Algorithm(s.Algorithm), int64(elems)*collective.WordSize)
+	if err != nil {
+		return nil, err
+	}
+	return ns.s, nil
+}
+
+// SimOptions selects the simulation configuration.
+type SimOptions struct {
+	// MessageBased enables the co-designed big-gradient flow control
+	// (§IV-B); off means conventional 256 B packets.
+	MessageBased bool
+
+	// PacketLevel selects the packet-granularity engine instead of the
+	// fluid flow-level engine. Slower, higher fidelity.
+	PacketLevel bool
+
+	// PayloadBytes overrides the packet payload (default 256).
+	PayloadBytes int
+
+	// DisableLockstep turns off the NI lockstep injection regulation
+	// (§IV-A), used by the lockstep ablation.
+	DisableLockstep bool
+}
+
+func (o SimOptions) internal() network.Config {
+	cfg := network.DefaultConfig()
+	cfg.MessageBased = o.MessageBased
+	if o.PayloadBytes > 0 {
+		cfg.PayloadBytes = o.PayloadBytes
+	}
+	if o.DisableLockstep {
+		cfg.Lockstep = false
+		cfg.StepPriority = false
+	}
+	return cfg
+}
+
+// SimResult reports a simulated all-reduce.
+type SimResult struct {
+	Cycles        uint64
+	BandwidthGBps float64
+	PayloadBytes  int64
+	WireBytes     int64
+}
+
+// Simulate runs the schedule through the selected network engine and
+// reports completion time and achieved bandwidth (data size / time).
+func (s *Schedule) Simulate(opt SimOptions) (SimResult, error) {
+	engine := network.SimulateFluid
+	if opt.PacketLevel {
+		engine = network.SimulatePackets
+	}
+	res, err := engine(s.s, opt.internal())
+	if err != nil {
+		return SimResult{}, err
+	}
+	dataBytes := int64(s.s.Elems) * collective.WordSize
+	return SimResult{
+		Cycles:        uint64(res.Cycles),
+		BandwidthGBps: network.GBps(res.BandwidthBytesPerCycle(dataBytes)),
+		PayloadBytes:  res.PayloadBytes,
+		WireBytes:     res.WireBytes,
+	}, nil
+}

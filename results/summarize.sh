@@ -1,0 +1,6 @@
+#!/bin/sh
+# Prints the EXPERIMENTS.md table points from the Fig. 9 CSVs.
+for f in "$@"; do
+  echo "== $f =="
+  awk -F, '$3==32768 || $3==8388608 {printf "%-14s %-14s %8d %8.3f\n", $1, $2, $3, $5}' "$f"
+done

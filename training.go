@@ -1,0 +1,158 @@
+package multitree
+
+import (
+	"multitree/internal/accel"
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/model"
+	"multitree/internal/network"
+	"multitree/internal/sim"
+	"multitree/internal/topology"
+	"multitree/internal/training"
+)
+
+// Models lists the DNN workloads of the paper's evaluation.
+func Models() []string {
+	zoo := model.Zoo()
+	names := make([]string, len(zoo))
+	for i, n := range zoo {
+		names[i] = n.Name
+	}
+	return names
+}
+
+// ModelInfo summarizes a workload.
+type ModelInfo struct {
+	Name          string
+	Layers        int
+	Params        int64
+	GradientBytes int64
+	MACsPerSample int64
+}
+
+// DescribeModel returns a workload's size summary.
+func DescribeModel(name string) (ModelInfo, error) {
+	n, err := model.ByName(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
+		Name:          n.Name,
+		Layers:        len(n.Layers),
+		Params:        n.Params(),
+		GradientBytes: n.GradientBytes(),
+		MACsPerSample: n.MACs(),
+	}, nil
+}
+
+// TrainingOptions configures a training-iteration simulation.
+type TrainingOptions struct {
+	// BatchPerNode defaults to 16 samples per accelerator (§V-B).
+	BatchPerNode int
+
+	// Overlapped selects layer-wise all-reduce (Fig. 11b) instead of the
+	// non-overlapped forward+backward+all-reduce sequence (Fig. 11a).
+	Overlapped bool
+
+	// Sim selects the network configuration.
+	Sim SimOptions
+}
+
+// TrainingResult reports one iteration's time breakdown in cycles
+// (nanoseconds at the 1 GHz clock).
+type TrainingResult struct {
+	Model     string
+	Algorithm Algorithm
+
+	ForwardCycles  uint64
+	BackwardCycles uint64
+	CommCycles     uint64 // total all-reduce busy time
+	ExposedCycles  uint64 // communication not hidden under compute
+	OverlapCycles  uint64 // communication hidden under compute
+	TotalCycles    uint64
+}
+
+// CommFraction returns exposed communication as a fraction of iteration
+// time.
+func (r TrainingResult) CommFraction() float64 {
+	if r.TotalCycles == 0 {
+		return 0
+	}
+	return float64(r.ExposedCycles) / float64(r.TotalCycles)
+}
+
+// SimulateTraining runs one data-parallel training iteration of the named
+// model on the topology with the chosen all-reduce algorithm.
+func SimulateTraining(t *Topology, alg Algorithm, modelName string, opt TrainingOptions) (TrainingResult, error) {
+	net, err := model.ByName(modelName)
+	if err != nil {
+		return TrainingResult{}, err
+	}
+	if opt.BatchPerNode <= 0 {
+		opt.BatchPerNode = 16
+	}
+	cfg := training.Config{
+		Topo:         t.t,
+		Accel:        accel.Default(),
+		BatchPerNode: opt.BatchPerNode,
+		Net:          opt.Sim.internal(),
+		Build:        scheduleBuilder(alg),
+	}
+	if opt.Sim.PacketLevel {
+		cfg.Engine = network.SimulatePackets
+	}
+	var (
+		b    training.Breakdown
+		berr error
+	)
+	if opt.Overlapped {
+		b, berr = cfg.Overlapped(net)
+	} else {
+		b, berr = cfg.NonOverlapped(net)
+	}
+	if berr != nil {
+		return TrainingResult{}, berr
+	}
+	return TrainingResult{
+		Model:          net.Name,
+		Algorithm:      alg,
+		ForwardCycles:  uint64(b.Forward),
+		BackwardCycles: uint64(b.Backward),
+		CommCycles:     uint64(b.Comm),
+		ExposedCycles:  uint64(b.Exposed),
+		OverlapCycles:  uint64(b.Overlap),
+		TotalCycles:    uint64(b.Total),
+	}, nil
+}
+
+// scheduleBuilder adapts an Algorithm to the training package's builder.
+// For MultiTree the schedule trees are built once per topology and reused
+// for every layer size — the paper's deployment model, where "the
+// schedules are computed once during initialization and loaded to network
+// interfaces for reuse in the iterative training epochs" (§V-A).
+func scheduleBuilder(alg Algorithm) training.ScheduleBuilder {
+	if alg != MultiTree {
+		return func(topo *topology.Topology, elems int) (*collective.Schedule, error) {
+			s, err := BuildSchedule(&Topology{t: topo}, alg, int64(elems)*collective.WordSize)
+			if err != nil {
+				return nil, err
+			}
+			return s.s, nil
+		}
+	}
+	cache := map[*topology.Topology][]*collective.Tree{}
+	return func(topo *topology.Topology, elems int) (*collective.Schedule, error) {
+		trees, ok := cache[topo]
+		if !ok {
+			var err error
+			trees, err = core.BuildTrees(topo, core.DefaultOptions(topo))
+			if err != nil {
+				return nil, err
+			}
+			cache[topo] = trees
+		}
+		return collective.TreesToSchedule(core.Algorithm, topo, elems, trees)
+	}
+}
+
+func simTime(ns int) sim.Time { return sim.Time(ns) }
