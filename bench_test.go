@@ -14,6 +14,7 @@ package multitree_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"multitree/internal/accel"
@@ -22,6 +23,7 @@ import (
 	"multitree/internal/experiments"
 	"multitree/internal/model"
 	"multitree/internal/network"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 	"multitree/internal/topospec"
 	"multitree/internal/training"
@@ -539,4 +541,60 @@ func BenchmarkAblation_TreeAdjustment(b *testing.B) {
 			b.ReportMetric(res.BandwidthBytesPerCycle(4<<20), "GB/s")
 		})
 	}
+}
+
+// BenchmarkTraceOverhead is the observability cost guard: the same 1 MiB
+// MultiTree packet-level simulation with tracing disabled, with a
+// streaming metrics collector, with an in-memory recorder, and with the
+// full Chrome-trace export to io.Discard. The disabled case is the one
+// every experiment pays; it must stay within noise of the pre-tracing
+// engine (the emit sites reduce to a nil check), and the sub-benchmark
+// deltas price each collector.
+func BenchmarkTraceOverhead(b *testing.B) {
+	topo, err := topospec.Parse("torus-4x4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Build(topo, (1<<20)/4, core.DefaultOptions(topo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, tr obs.Tracer) *network.Result {
+		cfg := network.DefaultConfig()
+		cfg.Tracer = tr
+		res, err := network.SimulatePackets(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	}
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, obs.NewMetrics(1000))
+		}
+	})
+	b.Run("recorder", func(b *testing.B) {
+		rec := &obs.Recorder{}
+		for i := 0; i < b.N; i++ {
+			rec.Reset()
+			run(b, rec)
+		}
+		b.ReportMetric(float64(len(rec.Events)), "events")
+	})
+	b.Run("chrometrace", func(b *testing.B) {
+		rec := &obs.Recorder{}
+		meta := network.TraceMetaFor(s, "")
+		for i := 0; i < b.N; i++ {
+			rec.Reset()
+			run(b, rec)
+			if err := obs.WriteChromeTrace(io.Discard, meta, rec.Events); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

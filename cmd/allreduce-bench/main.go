@@ -15,19 +15,33 @@
 //	allreduce-bench -fig 9a -max 64MiB # full-size sweep (slower)
 //	allreduce-bench -fig 9a -engine fluid
 //
+// Single-run observability mode: -algo selects one algorithm on one
+// topology and exports what the simulation did.
+//
+//	allreduce-bench -algo multitree -topo torus4x4 -trace trace.json
+//	allreduce-bench -algo ring -topo torus-4x4 -linkstats links.csv -bin 500
+//	allreduce-bench -algo multitree -topo mesh-8x8 -steputil steps.csv
+//
+// -trace writes Chrome-trace JSON (open in ui.perfetto.dev), -linkstats
+// writes per-link time-binned utilization CSV, -steputil writes per-step
+// link utilization from the trace next to the static schedule analysis.
+//
 // Output is CSV on stdout.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
 
+	"multitree/internal/collective"
 	"multitree/internal/experiments"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 	"multitree/internal/topospec"
 )
@@ -42,10 +56,20 @@ func main() {
 		engine   = flag.String("engine", "", "simulation engine: packet (default for Fig. 9) or fluid")
 		topos    = flag.String("topos", "", "comma-separated topology overrides, e.g. torus-4x4,mesh-8x8")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations for Fig. 9 sweeps")
+
+		algo      = flag.String("algo", "", "single-run mode: algorithm (ring, dbtree, 2d-ring, hdrm, multitree, multitree-msg)")
+		topo      = flag.String("topo", "torus-4x4", "single-run mode: topology spec")
+		size      = flag.String("size", "1MiB", "single-run mode: all-reduce data size")
+		traceOut  = flag.String("trace", "", "single-run mode: write Chrome-trace JSON (ui.perfetto.dev) to this file")
+		linkstats = flag.String("linkstats", "", "single-run mode: write per-link binned utilization CSV to this file")
+		steputil  = flag.String("steputil", "", "single-run mode: write per-step link utilization CSV (trace vs static) to this file")
+		bin       = flag.Float64("bin", 1000, "single-run mode: utilization histogram bin width in cycles")
 	)
 	flag.Parse()
 
 	switch {
+	case *algo != "":
+		runSingle(*algo, *topo, *size, *engine, *traceOut, *linkstats, *steputil, *bin)
 	case *table1:
 		runTable1(*topos)
 	case *fig == "2":
@@ -61,6 +85,99 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runSingle traces one (algorithm, topology, size) run and exports the
+// requested artifacts. The packet engine is the default here for the same
+// reason as Fig. 9: its per-packet link occupancy gives the most honest
+// timelines; -engine fluid selects the flow-level engine.
+func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil string, bin float64) {
+	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataBytes, err := parseSize(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg := experiments.AlgSpec{Name: algo, Msg: strings.HasSuffix(algo, "-msg")}
+	engine := experiments.Packet
+	if engineName == "fluid" {
+		engine = experiments.Fluid
+	}
+	tr, err := experiments.TraceAllReduce(topo, alg, dataBytes, engine, bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := tr.Point
+	fmt.Println("topology,algorithm,engine,data_bytes,cycles,bandwidth_gbps,events")
+	fmt.Printf("%s,%s,%s,%d,%d,%.3f,%d\n",
+		p.Topology, p.Algorithm, engine, p.DataBytes, p.Cycles, p.BandwidthGBps, len(tr.Events.Events))
+
+	if traceOut != "" {
+		writeFile(traceOut, tr.WriteChromeTrace)
+		log.Printf("wrote %s (open in ui.perfetto.dev)", traceOut)
+	}
+	if linkstats != "" {
+		writeFile(linkstats, func(w io.Writer) error {
+			return tr.Metrics.WriteLinkCSV(w, tr.Meta.LinkNames)
+		})
+		log.Printf("wrote %s", linkstats)
+	}
+	if steputil != "" {
+		writeFile(steputil, func(w io.Writer) error {
+			return writeStepUtil(w, tr)
+		})
+		log.Printf("wrote %s", steputil)
+	}
+}
+
+// writeStepUtil emits per-step link utilization two ways: measured from
+// the trace's link-acquired events, and statically from the schedule's
+// per-step link sets. The two columns must agree — the static number is
+// the paper's Fig. 3/4 utilization metric.
+func writeStepUtil(w io.Writer, tr *experiments.TracedResult) error {
+	traced := obs.StepLinkUtilization(tr.Events.Events, len(tr.Sched.Topo.Links()))
+	static := collective.StepUtilization(tr.Sched)
+	if _, err := fmt.Fprintln(w, "step,trace_util,static_util"); err != nil {
+		return err
+	}
+	for step := 1; step < len(static) || step < len(traced); step++ {
+		var t, s float64
+		if step < len(traced) {
+			t = traced[step]
+		}
+		if step < len(static) {
+			s = static[step]
+		}
+		if _, err := fmt.Fprintf(w, "%d,%.4f,%.4f\n", step, t, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// normalizeTopoSpec accepts the dashless shorthand "torus4x4" for
+// "torus-4x4" by inserting a dash before the first digit run.
+func normalizeTopoSpec(spec string) string {
+	if i := strings.IndexFunc(spec, func(r rune) bool { return r >= '0' && r <= '9' }); i > 0 && spec[i-1] != '-' {
+		return spec[:i] + "-" + spec[i:]
+	}
+	return spec
 }
 
 func runFig9(fig, topoOverride, maxSz, engineName string, parallel int) {

@@ -10,18 +10,30 @@
 //	schedule-dump -topo torus-4x4    # any topology
 //	schedule-dump -tables            # include the Fig. 5 NI tables
 //	schedule-dump -baselines         # include the Fig. 4 ring/dbtree views
+//
+// Observability: -trace simulates the MultiTree schedule under tracing
+// and also drives the Fig. 6 NI machine over the compiled tables, so the
+// exported Chrome-trace JSON carries both the link timelines (cycle
+// domain) and the NI table-walk instants (issue-round domain).
+//
+//	schedule-dump -topo torus-4x4 -trace trace.json -linkstats links.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/dbtree"
+	"multitree/internal/network"
 	"multitree/internal/ni"
+	"multitree/internal/obs"
 	"multitree/internal/ring"
+	"multitree/internal/topology"
 	"multitree/internal/topospec"
 )
 
@@ -33,6 +45,10 @@ func main() {
 		tables    = flag.Bool("tables", false, "print the Fig. 5 NI schedule tables")
 		baselines = flag.Bool("baselines", false, "print the Fig. 4 ring and double-binary-tree schedules")
 		util      = flag.Bool("util", false, "print per-step link-utilization charts for every algorithm")
+
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON of the MultiTree schedule (links + NI machine)")
+		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the MultiTree schedule")
+		bin       = flag.Float64("bin", 100, "utilization histogram bin width in cycles for -linkstats")
 	)
 	flag.Parse()
 
@@ -87,6 +103,10 @@ func main() {
 		}
 	}
 
+	if *traceOut != "" || *linkstats != "" {
+		traceSchedule(topo, trees, *traceOut, *linkstats, *bin)
+	}
+
 	if *tables {
 		nt, err := ni.Compile(trees, topo.Nodes())
 		if err != nil {
@@ -99,6 +119,67 @@ func main() {
 		}
 		fmt.Printf("hardware overhead: %d bits/entry, %d entries, %d bytes/table\n",
 			ni.EntryBits(topo.Nodes()), 2*topo.Nodes(), ni.TableBytes(topo.Nodes()))
+	}
+}
+
+// traceSchedule simulates the MultiTree schedule with the fluid engine
+// under tracing, then replays the compiled Fig. 5 tables through the
+// Fig. 6 NI machine with the same recorder, so the export shows both the
+// network's link timelines and the NIs' table walks.
+func traceSchedule(topo *topology.Topology, trees []*collective.Tree, traceOut, linkstats string, bin float64) {
+	sched, err := collective.TreesToSchedule(core.Algorithm, topo, topo.Nodes()*64, trees)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := &obs.Recorder{}
+	cfg := network.DefaultConfig()
+	cfg.Tracer = rec
+	res, err := network.SimulateFluid(sched, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nt, err := ni.Compile(trees, topo.Nodes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := ni.NewMachine(nt, topo.Nodes())
+	m.Trace = rec
+	rounds, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntraced fluid simulation: %d cycles, NI machine: %d issue rounds, %d events\n",
+		res.Cycles, rounds, len(rec.Events))
+	meta := network.TraceMetaFor(sched, "")
+	if traceOut != "" {
+		writeFile(traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, meta, rec.Events)
+		})
+		log.Printf("wrote %s (open in ui.perfetto.dev)", traceOut)
+	}
+	if linkstats != "" {
+		writeFile(linkstats, func(w io.Writer) error {
+			met := obs.NewMetrics(bin)
+			for _, ev := range rec.Events {
+				met.Emit(ev)
+			}
+			return met.WriteLinkCSV(w, meta.LinkNames)
+		})
+		log.Printf("wrote %s", linkstats)
+	}
+}
+
+func writeFile(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -9,12 +9,22 @@
 //	train-sim -overlap         # Fig. 11b table
 //	train-sim -topo torus-4x4  # different system
 //	train-sim -csv             # machine-readable output
+//
+// Observability: -trace / -linkstats export what the network did during
+// one model's full-gradient all-reduce (the communication phase of a
+// Fig. 11a iteration), using the fluid engine.
+//
+//	train-sim -model ResNet50 -algo multitree-msg -trace trace.json
+//	train-sim -model BERT-Base -algo ring -linkstats links.csv
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"strings"
 
 	"multitree/internal/accel"
 	"multitree/internal/collective"
@@ -35,6 +45,12 @@ func main() {
 		topoStr = flag.String("topo", "torus-8x8", "topology spec")
 		csv     = flag.Bool("csv", false, "CSV output instead of a table")
 		layers  = flag.String("layers", "", "print the per-layer profile of one model (e.g. -layers ResNet50)")
+
+		modelName = flag.String("model", "ResNet50", "model whose gradient all-reduce to trace")
+		algo      = flag.String("algo", "multitree-msg", "algorithm for -trace/-linkstats")
+		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON (ui.perfetto.dev) of the model's gradient all-reduce")
+		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the gradient all-reduce")
+		bin       = flag.Float64("bin", 1000, "utilization histogram bin width in cycles for -linkstats")
 	)
 	flag.Parse()
 
@@ -44,6 +60,10 @@ func main() {
 	}
 	if *layers != "" {
 		printLayerProfile(topo, *layers)
+		return
+	}
+	if *traceOut != "" || *linkstats != "" {
+		traceGradientAllReduce(topo, *modelName, *algo, *traceOut, *linkstats, *bin)
 		return
 	}
 	rows, err := experiments.Fig11(topo, *overlap)
@@ -74,6 +94,49 @@ func main() {
 			r.Algorithm,
 			float64(r.Compute)/1e6, float64(r.Comm)/1e6, float64(r.Exposed)/1e6,
 			float64(r.Total)/1e6, r.NormalizedTotal, r.AllReduceSpeedup)
+	}
+}
+
+// traceGradientAllReduce simulates one model's full-gradient all-reduce
+// with the fluid engine under tracing and writes the requested exports.
+// This is the communication phase of a non-overlapped (Fig. 11a) training
+// iteration; the fluid engine keeps multi-hundred-MiB gradients tractable.
+func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, linkstats string, bin float64) {
+	net, err := model.ByName(modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg := experiments.AlgSpec{Name: algo, Msg: strings.HasSuffix(algo, "-msg")}
+	tr, err := experiments.TraceAllReduce(topo, alg, net.GradientBytes(), experiments.Fluid, bin)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := tr.Point
+	fmt.Printf("%s gradient all-reduce: %s on %s, %d bytes, %d cycles, %.2f GB/s, %d events\n",
+		net.Name, p.Algorithm, p.Topology, p.DataBytes, p.Cycles, p.BandwidthGBps, len(tr.Events.Events))
+	if traceOut != "" {
+		writeFile(traceOut, tr.WriteChromeTrace)
+		log.Printf("wrote %s (open in ui.perfetto.dev)", traceOut)
+	}
+	if linkstats != "" {
+		writeFile(linkstats, func(w io.Writer) error {
+			return tr.Metrics.WriteLinkCSV(w, tr.Meta.LinkNames)
+		})
+		log.Printf("wrote %s", linkstats)
+	}
+}
+
+func writeFile(path string, fn func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"multitree/internal/collective"
+	"multitree/internal/network"
+	"multitree/internal/obs"
+	"multitree/internal/topology"
+)
+
+// TracedResult is one traced all-reduce run: the measurement plus the
+// full event recording and streaming metrics, ready for Chrome-trace or
+// CSV export.
+type TracedResult struct {
+	Point   AllReducePoint
+	Sched   *collective.Schedule
+	Meta    obs.TraceMeta
+	Events  *obs.Recorder
+	Metrics *obs.Metrics
+}
+
+// WriteChromeTrace exports the recording as Chrome-trace JSON for
+// ui.perfetto.dev.
+func (tr *TracedResult) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, tr.Meta, tr.Events.Events)
+}
+
+// TraceAllReduce measures one (topology, algorithm, size) point like
+// MeasureAllReduce while recording every simulation event and streaming
+// it into a metrics collector with binCycles-wide utilization bins.
+func TraceAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64) (*TracedResult, error) {
+	elems := int(dataBytes / collective.WordSize)
+	if elems < 1 {
+		return nil, fmt.Errorf("experiments: data size %d bytes is below one %d-byte element", dataBytes, collective.WordSize)
+	}
+	s, err := BuildSchedule(topo, alg.Name, elems)
+	if err != nil {
+		return nil, err
+	}
+	rec := &obs.Recorder{}
+	met := obs.NewMetrics(binCycles)
+	cfg := network.DefaultConfig()
+	cfg.MessageBased = alg.Msg
+	cfg.Tracer = obs.Tee(rec, met)
+	res, err := engine.run(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TracedResult{
+		Point: AllReducePoint{
+			Topology:      topo.Name(),
+			Algorithm:     alg.Name,
+			DataBytes:     dataBytes,
+			Cycles:        uint64(res.Cycles),
+			BandwidthGBps: res.BandwidthBytesPerCycle(dataBytes),
+		},
+		Sched:   s,
+		Meta:    network.TraceMetaFor(s, ""),
+		Events:  rec,
+		Metrics: met,
+	}, nil
+}

@@ -21,6 +21,7 @@ package network
 import (
 	"fmt"
 
+	"multitree/internal/obs"
 	"multitree/internal/sim"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	// packet engine for backpressure (4 VCs x 318 flits in Table III).
 	VCs          int
 	VCDepthFlits int
+
+	// Tracer, when non-nil, receives typed simulation events from either
+	// engine (transfer ready/injected/delivered, link-acquired spans,
+	// credit blocks, lockstep step entries, event-queue samples). The nil
+	// default keeps the hot paths branch-only with zero allocations per
+	// event.
+	Tracer obs.Tracer
 }
 
 // DefaultConfig returns the Table III configuration with packet-based

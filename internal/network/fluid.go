@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/sim"
 	"multitree/internal/topology"
 )
@@ -61,6 +62,7 @@ type fluidFlow struct {
 	rem     float64 // bytes not yet injected
 	rate    float64
 	latency float64 // path latency in cycles
+	start   float64 // activation time, for trace spans
 
 	depsLeft int
 	state    flowState
@@ -108,6 +110,7 @@ type nodeClock struct {
 type fluidState struct {
 	s   *collective.Schedule
 	cfg Config
+	tr  obs.Tracer
 	now float64
 
 	flows []fluidFlow
@@ -131,7 +134,7 @@ const fluidEps = 1e-6
 func newFluidState(s *collective.Schedule, cfg Config) *fluidState {
 	n := len(s.Transfers)
 	st := &fluidState{
-		s: s, cfg: cfg,
+		s: s, cfg: cfg, tr: cfg.Tracer,
 		flows:    make([]fluidFlow, n),
 		succ:     make([][]int32, n),
 		lockstep: cfg.Lockstep,
@@ -198,6 +201,13 @@ func newFluidState(s *collective.Schedule, cfg Config) *fluidState {
 	for i := range st.flows {
 		if st.flows[i].depsLeft == 0 {
 			st.ready = append(st.ready, int32(i))
+			if st.tr != nil {
+				st.tr.Emit(obs.Event{
+					Kind: obs.EvTransferReady, At: 0, Transfer: int32(i),
+					Node: int32(s.Transfers[i].Src),
+					Flow: int32(s.Transfers[i].Flow), Step: int32(s.Transfers[i].Step),
+				})
+			}
 		}
 	}
 	st.activateReady()
@@ -223,6 +233,11 @@ func (st *fluidState) enterStep(node int, at float64) {
 	c.entry = st.now
 	c.injEnd = st.now
 	step := c.steps[c.idx]
+	if st.tr != nil {
+		st.tr.Emit(obs.Event{
+			Kind: obs.EvStepEnter, At: st.now, Node: int32(node), Step: int32(step),
+		})
+	}
 	c.pending = 0
 	for _, id := range st.sends[node] {
 		if st.s.Transfers[id].Step == step {
@@ -254,6 +269,15 @@ func (st *fluidState) activateReady() {
 			continue
 		}
 		f := &st.flows[id]
+		f.start = st.now
+		if st.tr != nil {
+			t := &st.s.Transfers[id]
+			st.tr.Emit(obs.Event{
+				Kind: obs.EvTransferInjected, At: st.now, Transfer: id,
+				Node: int32(t.Src), Flow: int32(t.Flow), Step: int32(t.Step),
+				Bytes: int64(f.wire),
+			})
+		}
 		if f.wire <= fluidEps {
 			f.state = fsInFlight
 			st.injected(id)
@@ -339,6 +363,22 @@ func (st *fluidState) processInjections(res *Result) {
 			for _, l := range f.path {
 				res.LinkBusy[l] += sim.Time(math.Ceil(f.wire / st.s.Topo.Link(l).Bandwidth))
 			}
+			if st.tr != nil {
+				// The flow's active interval on each routed link, with the
+				// busy-equivalent serialization time at full link rate, so
+				// a shared link's concurrent spans never sum past 100%.
+				t := &st.s.Transfers[id]
+				for _, l := range f.path {
+					st.tr.Emit(obs.Event{
+						Kind: obs.EvLinkAcquired,
+						At:   f.start, Dur: st.now - f.start,
+						Busy: f.wire / st.s.Topo.Link(l).Bandwidth,
+						Link: int32(l), Transfer: id, Node: int32(t.Src),
+						Flow: int32(t.Flow), Step: int32(t.Step),
+						Bytes: int64(f.wire),
+					})
+				}
+			}
 			st.injected(id)
 			st.ratesDirty = true
 		} else {
@@ -358,11 +398,25 @@ func (st *fluidState) processTimed(res *Result) {
 			st.flows[id].state = fsDone
 			st.done++
 			res.TransferDone[id] = sim.Time(math.Ceil(st.now))
+			if st.tr != nil {
+				t := &st.s.Transfers[id]
+				st.tr.Emit(obs.Event{
+					Kind: obs.EvTransferDelivered, At: st.now, Transfer: id,
+					Node: int32(t.Dst), Flow: int32(t.Flow), Step: int32(t.Step),
+				})
+			}
 			for _, nxt := range st.succ[id] {
 				nf := &st.flows[nxt]
 				nf.depsLeft--
 				if nf.depsLeft == 0 {
 					st.ready = append(st.ready, nxt)
+					if st.tr != nil {
+						t := &st.s.Transfers[nxt]
+						st.tr.Emit(obs.Event{
+							Kind: obs.EvTransferReady, At: st.now, Transfer: nxt,
+							Node: int32(t.Src), Flow: int32(t.Flow), Step: int32(t.Step),
+						})
+					}
 				}
 			}
 		case 1: // deferred node step entry

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/sim"
 	"multitree/internal/topology"
 )
@@ -53,6 +54,7 @@ type packetSim struct {
 	cfg Config
 	eng sim.Engine
 	res *Result
+	tr  obs.Tracer
 
 	depsLeft []int
 	succ     [][]int32
@@ -87,7 +89,7 @@ func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
 	n := len(s.Transfers)
 	nl := len(s.Topo.Links())
 	ps := &packetSim{
-		s: s, cfg: cfg, res: res,
+		s: s, cfg: cfg, res: res, tr: cfg.Tracer,
 		depsLeft:  make([]int, n),
 		succ:      make([][]int32, n),
 		pktsLeft:  make([]int, n),
@@ -97,6 +99,7 @@ func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
 		bufFree:   make([]int64, nl),
 		lockstep:  cfg.Lockstep,
 	}
+	ps.eng.Trace = cfg.Tracer
 	bufCap := int64(cfg.VCs) * int64(cfg.VCDepthFlits) * int64(cfg.FlitBytes)
 	for l := range ps.bufFree {
 		ps.bufFree[l] = bufCap
@@ -178,6 +181,12 @@ func (ps *packetSim) seed() {
 // immediately or parks until the sender's lockstep gate opens.
 func (ps *packetSim) release(id int32) {
 	t := &ps.s.Transfers[id]
+	if ps.tr != nil {
+		ps.tr.Emit(obs.Event{
+			Kind: obs.EvTransferReady, At: float64(ps.eng.Now()), Transfer: id,
+			Node: int32(t.Src), Flow: int32(t.Flow), Step: int32(t.Step),
+		})
+	}
 	if ps.lockstep {
 		c := &ps.clocks[t.Src]
 		if !(c.entered && c.idx < len(c.steps) && c.steps[c.idx] == t.Step) {
@@ -194,6 +203,13 @@ func (ps *packetSim) inject(id int32) {
 	t := &ps.s.Transfers[id]
 	path := ps.s.PathOf(t)
 	pkts := ps.packetize(ps.s.Bytes(t))
+	if ps.tr != nil {
+		ps.tr.Emit(obs.Event{
+			Kind: obs.EvTransferInjected, At: float64(ps.eng.Now()), Transfer: id,
+			Node: int32(t.Src), Flow: int32(t.Flow), Step: int32(t.Step),
+			Bytes: ps.cfg.WireBytes(ps.s.Bytes(t)),
+		})
+	}
 	ps.pktsLeft[id] = len(pkts)
 	ps.toInject[id] = len(pkts)
 	if len(pkts) == 0 {
@@ -248,6 +264,12 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 	p := ps.linkQueue[l][0]
 	lastHop := p.hop == len(p.path)-1
 	if !lastHop && ps.bufFree[l] < p.wire {
+		if ps.tr != nil {
+			ps.tr.Emit(obs.Event{
+				Kind: obs.EvLinkBlocked, At: float64(ps.eng.Now()),
+				Link: int32(l), Transfer: p.transfer, Bytes: p.wire,
+			})
+		}
 		return // backpressured; retried when the buffer frees
 	}
 	ps.linkQueue[l] = ps.linkQueue[l][1:]
@@ -265,6 +287,15 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 	link := ps.s.Topo.Link(l)
 	ser := sim.Time(math.Ceil(float64(p.wire) / link.Bandwidth))
 	ps.res.LinkBusy[l] += ser
+	if ps.tr != nil {
+		t := &ps.s.Transfers[p.transfer]
+		ps.tr.Emit(obs.Event{
+			Kind: obs.EvLinkAcquired, At: float64(ps.eng.Now()),
+			Dur: float64(ser), Busy: float64(ser),
+			Link: int32(l), Transfer: p.transfer, Node: int32(t.Src),
+			Flow: int32(t.Flow), Step: int32(t.Step), Bytes: p.wire,
+		})
+	}
 	firstHop := p.hop == 0
 	ps.eng.After(ser, func() {
 		ps.linkBusy[l] = false
@@ -300,6 +331,13 @@ func (ps *packetSim) arrive(p *packet, lastHop bool) {
 func (ps *packetSim) delivered(id int32) {
 	ps.res.TransferDone[id] = ps.eng.Now()
 	ps.done++
+	if ps.tr != nil {
+		t := &ps.s.Transfers[id]
+		ps.tr.Emit(obs.Event{
+			Kind: obs.EvTransferDelivered, At: float64(ps.eng.Now()), Transfer: id,
+			Node: int32(t.Dst), Flow: int32(t.Flow), Step: int32(t.Step),
+		})
+	}
 	for _, nxt := range ps.succ[id] {
 		ps.depsLeft[nxt]--
 		if ps.depsLeft[nxt] == 0 {
@@ -315,6 +353,12 @@ func (ps *packetSim) enterStep(node int) {
 	c.entered = true
 	c.injEnd = ps.eng.Now()
 	step := c.steps[c.idx]
+	if ps.tr != nil {
+		ps.tr.Emit(obs.Event{
+			Kind: obs.EvStepEnter, At: float64(ps.eng.Now()),
+			Node: int32(node), Step: int32(step),
+		})
+	}
 	c.pending = 0
 	for _, id := range ps.sends[node] {
 		if ps.s.Transfers[id].Step == step {

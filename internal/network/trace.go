@@ -1,0 +1,23 @@
+package network
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+	"multitree/internal/obs"
+)
+
+// TraceMetaFor builds the Chrome-trace track metadata of a schedule's
+// topology: one named track per directed link ("n0->n1", "n3->s16") and
+// one per node's NI.
+func TraceMetaFor(s *collective.Schedule, title string) obs.TraceMeta {
+	links := s.Topo.Links()
+	names := make([]string, len(links))
+	for i, l := range links {
+		names[i] = fmt.Sprintf("%s->%s", s.Topo.VertexName(l.Src), s.Topo.VertexName(l.Dst))
+	}
+	if title == "" {
+		title = fmt.Sprintf("%s on %s", s.Algorithm, s.Topo.Name())
+	}
+	return obs.TraceMeta{Title: title, LinkNames: names, Nodes: s.Topo.Nodes()}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -18,6 +19,13 @@ type Machine struct {
 	tables *Tables
 	nodes  int
 	flows  int
+
+	// Trace, when non-nil, receives EvNIEntryActivated / EvNIDepCleared /
+	// EvNILockstep events with the issue round as the timestamp. The
+	// behavioral model has no cycle clock, so these live in their own time
+	// domain (the exporter keeps them on a separate track group).
+	Trace obs.Tracer
+	round int
 
 	// cov[node][flow] is the set of original contributions folded into
 	// the node's copy of the flow's chunk (bitset by node).
@@ -81,6 +89,7 @@ func (m *Machine) Run() (int, error) {
 	rounds := 0
 	for {
 		progressed := false
+		m.round = rounds
 		for node := 0; node < m.nodes; node++ {
 			for m.issueNext(node) {
 				progressed = true
@@ -126,6 +135,12 @@ func (m *Machine) issueNext(node int) bool {
 	switch e.Op {
 	case collective.NOP:
 		// Behavioral model: the lockstep down-counter elapses instantly.
+		if m.Trace != nil {
+			m.Trace.Emit(obs.Event{
+				Kind: obs.EvNILockstep, At: float64(m.round),
+				Node: int32(node), Step: int32(e.Step),
+			})
+		}
 		m.next[node]++
 		return true
 	case collective.Reduce:
@@ -143,6 +158,7 @@ func (m *Machine) issueNext(node int) bool {
 				return true
 			}
 		}
+		m.emitActivated(node, e)
 		m.deliverReduce(node, int(e.Parent), e.FlowID)
 		m.next[node]++
 		return true
@@ -160,6 +176,7 @@ func (m *Machine) issueNext(node int) bool {
 				}
 			}
 		}
+		m.emitActivated(node, e)
 		for _, c := range e.Children {
 			if c != Nil {
 				m.deliverGather(node, int(c), e.FlowID)
@@ -169,6 +186,17 @@ func (m *Machine) issueNext(node int) bool {
 		return true
 	}
 	return false
+}
+
+// emitActivated traces the issue of a Reduce/Gather table entry (step (2)
+// of Fig. 6: the timestep counter matched and dependencies cleared).
+func (m *Machine) emitActivated(node int, e *Entry) {
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{
+			Kind: obs.EvNIEntryActivated, At: float64(m.round),
+			Node: int32(node), Flow: int32(e.FlowID), Step: int32(e.Step),
+		})
+	}
 }
 
 // flowChildren returns every child listed in a node's entries for a flow
@@ -194,6 +222,12 @@ func (m *Machine) flowChildren(node, flow int) []topology.NodeID {
 func (m *Machine) deliverReduce(from, to, flow int) {
 	m.cov[to][flow].or(m.cov[from][flow])
 	m.reduceHeard[to][flow].set(from)
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{
+			Kind: obs.EvNIDepCleared, At: float64(m.round),
+			Node: int32(to), Flow: int32(flow),
+		})
+	}
 }
 
 // deliverGather models the receive path (6): the child's copy is
@@ -201,4 +235,10 @@ func (m *Machine) deliverReduce(from, to, flow int) {
 func (m *Machine) deliverGather(from, to, flow int) {
 	m.cov[to][flow].copyFrom(m.cov[from][flow])
 	m.gatherHeard[to][flow] = true
+	if m.Trace != nil {
+		m.Trace.Emit(obs.Event{
+			Kind: obs.EvNIDepCleared, At: float64(m.round),
+			Node: int32(to), Flow: int32(flow),
+		})
+	}
 }

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Metrics is a streaming collector implementing Tracer: it folds the event
+// stream into per-link time-binned utilization histograms, a per-transfer
+// queueing-delay distribution, and NI table-occupancy counters, without
+// retaining the events themselves. Attach it directly, or Tee it with a
+// Recorder when the raw trace is also wanted.
+type Metrics struct {
+	// BinCycles is the utilization histogram bin width in cycles; 0
+	// collects per-link totals only.
+	BinCycles float64
+
+	linkBusy []float64   // total busy-equivalent cycles per link
+	linkBins [][]float64 // busy-equivalent cycles per (link, bin)
+	lastAt   float64     // latest span end seen, bounds the histogram
+
+	// Queueing delay: ready (deps cleared) -> first byte on a link.
+	readyAt   map[int32]float64
+	firstLink map[int32]bool
+	delays    []float64
+
+	niIssued  []int64 // per node: schedule-table entries issued
+	niCleared []int64 // per node: dependencies cleared by received messages
+	niNOPs    int64   // lockstep down-counter NOP elapses
+
+	stepEnters int64
+	queueMax   int64 // peak pending-event count in the discrete-event core
+	events     int64
+}
+
+// NewMetrics returns a collector with the given utilization bin width in
+// cycles (0 keeps totals only).
+func NewMetrics(binCycles float64) *Metrics {
+	return &Metrics{
+		BinCycles: binCycles,
+		readyAt:   make(map[int32]float64),
+		firstLink: make(map[int32]bool),
+	}
+}
+
+// Emit folds one event into the collector.
+func (m *Metrics) Emit(ev Event) {
+	m.events++
+	switch ev.Kind {
+	case EvTransferReady:
+		if _, ok := m.readyAt[ev.Transfer]; !ok {
+			m.readyAt[ev.Transfer] = ev.At
+		}
+	case EvTransferInjected:
+		// Fallback for streams without ready events.
+		if _, ok := m.readyAt[ev.Transfer]; !ok {
+			m.readyAt[ev.Transfer] = ev.At
+		}
+	case EvLinkAcquired:
+		m.addSpan(ev.Link, ev.At, ev.Dur, ev.Busy)
+		if !m.firstLink[ev.Transfer] {
+			m.firstLink[ev.Transfer] = true
+			if ready, ok := m.readyAt[ev.Transfer]; ok {
+				if d := ev.At - ready; d > 0 {
+					m.delays = append(m.delays, d)
+				} else {
+					m.delays = append(m.delays, 0)
+				}
+			}
+		}
+	case EvStepEnter:
+		m.stepEnters++
+	case EvEngineQueue:
+		if ev.Bytes > m.queueMax {
+			m.queueMax = ev.Bytes
+		}
+	case EvNIEntryActivated:
+		m.niIssued = growCounters(m.niIssued, int(ev.Node))
+		m.niIssued[ev.Node]++
+	case EvNIDepCleared:
+		m.niCleared = growCounters(m.niCleared, int(ev.Node))
+		m.niCleared[ev.Node]++
+	case EvNILockstep:
+		m.niNOPs++
+	}
+}
+
+func growCounters(s []int64, idx int) []int64 {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// addSpan distributes busy-equivalent cycles uniformly over [at, at+dur)
+// into the link's histogram bins.
+func (m *Metrics) addSpan(link int32, at, dur, busy float64) {
+	l := int(link)
+	for len(m.linkBusy) <= l {
+		m.linkBusy = append(m.linkBusy, 0)
+		m.linkBins = append(m.linkBins, nil)
+	}
+	m.linkBusy[l] += busy
+	if end := at + dur; end > m.lastAt {
+		m.lastAt = end
+	}
+	if m.BinCycles <= 0 {
+		return
+	}
+	if dur <= 0 {
+		b := int(at / m.BinCycles)
+		m.linkBins[l] = growBins(m.linkBins[l], b)
+		m.linkBins[l][b] += busy
+		return
+	}
+	density := busy / dur
+	end := at + dur
+	for b := int(at / m.BinCycles); float64(b)*m.BinCycles < end; b++ {
+		lo := math.Max(at, float64(b)*m.BinCycles)
+		hi := math.Min(end, float64(b+1)*m.BinCycles)
+		m.linkBins[l] = growBins(m.linkBins[l], b)
+		m.linkBins[l][b] += (hi - lo) * density
+	}
+}
+
+func growBins(s []float64, idx int) []float64 {
+	for len(s) <= idx {
+		s = append(s, 0)
+	}
+	return s
+}
+
+// Events returns the number of events folded in.
+func (m *Metrics) Events() int64 { return m.events }
+
+// LinkBusy returns the total busy-equivalent cycles per link (indexed by
+// link id; links beyond the highest seen are absent).
+func (m *Metrics) LinkBusy() []float64 { return m.linkBusy }
+
+// LinkBins returns the utilization histogram of one link: busy-equivalent
+// cycles per BinCycles-wide bin. Nil when binning is off or the link never
+// carried traffic.
+func (m *Metrics) LinkBins(link int) []float64 {
+	if link < 0 || link >= len(m.linkBins) {
+		return nil
+	}
+	return m.linkBins[link]
+}
+
+// QueueingDelays returns the sorted per-transfer queueing delays in
+// cycles: the wait between a transfer becoming ready and its first byte
+// starting across a link.
+func (m *Metrics) QueueingDelays() []float64 {
+	out := append([]float64(nil), m.delays...)
+	sort.Float64s(out)
+	return out
+}
+
+// QueueingDelayQuantile returns the q-quantile (0..1) of the queueing
+// delay distribution, or 0 when no delays were observed.
+func (m *Metrics) QueueingDelayQuantile(q float64) float64 {
+	d := m.QueueingDelays()
+	if len(d) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(d)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(d) {
+		idx = len(d) - 1
+	}
+	return d[idx]
+}
+
+// NIEntriesIssued returns per-node counts of schedule-table entries the
+// NI machine issued — the table-occupancy counters of the Fig. 6 model.
+func (m *Metrics) NIEntriesIssued() []int64 { return m.niIssued }
+
+// NIDepsCleared returns per-node counts of dependency-clearing receives.
+func (m *Metrics) NIDepsCleared() []int64 { return m.niCleared }
+
+// NILockstepNOPs returns the total lockstep down-counter NOP elapses.
+func (m *Metrics) NILockstepNOPs() int64 { return m.niNOPs }
+
+// StepEnters returns the number of lockstep step entries across nodes.
+func (m *Metrics) StepEnters() int64 { return m.stepEnters }
+
+// EngineQueueMax returns the peak pending-event count observed in the
+// discrete-event core (0 when the packet engine did not run).
+func (m *Metrics) EngineQueueMax() int64 { return m.queueMax }
+
+// WriteLinkCSV writes the per-link utilization histogram as CSV, one row
+// per (link, bin): link id, optional name, bin bounds in cycles, the
+// busy-equivalent cycles inside the bin, and the bin's utilization
+// (busy/width, 1.0 = saturated). With binning off it writes one totals row
+// per link instead, with utilization relative to the whole run.
+func (m *Metrics) WriteLinkCSV(w io.Writer, names []string) error {
+	name := func(l int) string {
+		if l < len(names) {
+			return names[l]
+		}
+		return fmt.Sprintf("link%d", l)
+	}
+	if _, err := fmt.Fprintln(w, "link,name,bin_start_cycles,bin_end_cycles,busy_cycles,utilization"); err != nil {
+		return err
+	}
+	for l := range m.linkBusy {
+		if m.linkBusy[l] == 0 {
+			continue
+		}
+		if m.BinCycles <= 0 {
+			util := 0.0
+			if m.lastAt > 0 {
+				util = m.linkBusy[l] / m.lastAt
+			}
+			if _, err := fmt.Fprintf(w, "%d,%s,0,%.0f,%.1f,%.4f\n",
+				l, name(l), m.lastAt, m.linkBusy[l], util); err != nil {
+				return err
+			}
+			continue
+		}
+		for b, busy := range m.linkBins[l] {
+			if busy == 0 {
+				continue
+			}
+			lo := float64(b) * m.BinCycles
+			if _, err := fmt.Fprintf(w, "%d,%s,%.0f,%.0f,%.1f,%.4f\n",
+				l, name(l), lo, lo+m.BinCycles, busy, busy/m.BinCycles); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"multitree/internal/dbtree"
 	"multitree/internal/hdrm"
 	"multitree/internal/network"
+	"multitree/internal/obs"
 	"multitree/internal/ring"
 	"multitree/internal/ring2d"
 	"multitree/internal/topology"
@@ -225,6 +226,17 @@ type SimOptions struct {
 	// DisableLockstep turns off the NI lockstep injection regulation
 	// (§IV-A), used by the lockstep ablation.
 	DisableLockstep bool
+
+	// Tracer, when non-nil, receives the typed simulation events of
+	// internal/obs (transfer ready/injected/delivered, link-occupancy
+	// spans, credit blocks, lockstep step entries). Leave nil — the
+	// default — and the simulators pay only a branch per event.
+	Tracer obs.Tracer
+
+	// Metrics, when non-nil, streams the same events into per-link
+	// utilization histograms, queueing-delay distributions and NI
+	// counters (obs.NewMetrics). It composes with Tracer.
+	Metrics *obs.Metrics
 }
 
 func (o SimOptions) internal() network.Config {
@@ -236,6 +248,10 @@ func (o SimOptions) internal() network.Config {
 	if o.DisableLockstep {
 		cfg.Lockstep = false
 		cfg.StepPriority = false
+	}
+	cfg.Tracer = o.Tracer
+	if o.Metrics != nil {
+		cfg.Tracer = obs.Tee(cfg.Tracer, o.Metrics)
 	}
 	return cfg
 }

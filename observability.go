@@ -1,0 +1,50 @@
+package multitree
+
+import (
+	"io"
+
+	"multitree/internal/network"
+	"multitree/internal/obs"
+)
+
+// Trace is an in-memory recording of one simulated all-reduce: every
+// typed event the engines emitted, plus the track metadata (link and node
+// names) needed to export it. Obtain one with Schedule.SimulateTraced.
+type Trace struct {
+	meta obs.TraceMeta
+	rec  obs.Recorder
+}
+
+// Events returns the number of recorded events.
+func (t *Trace) Events() int { return len(t.rec.Events) }
+
+// WriteChromeTrace exports the recording as Chrome-trace JSON: open the
+// file in ui.perfetto.dev (or chrome://tracing) to see one timeline track
+// per directed link and one per node's NI.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, t.meta, t.rec.Events)
+}
+
+// WriteLinkStats replays the recording through a metrics collector and
+// writes the per-link time-binned utilization CSV (binCycles <= 0 writes
+// per-link totals only).
+func (t *Trace) WriteLinkStats(w io.Writer, binCycles float64) error {
+	m := obs.NewMetrics(binCycles)
+	for _, ev := range t.rec.Events {
+		m.Emit(ev)
+	}
+	return m.WriteLinkCSV(w, t.meta.LinkNames)
+}
+
+// SimulateTraced runs the schedule like Simulate while recording every
+// simulation event, and returns the recording alongside the result. Any
+// Tracer/Metrics already set in opt still receive the events too.
+func (s *Schedule) SimulateTraced(opt SimOptions) (SimResult, *Trace, error) {
+	tr := &Trace{meta: network.TraceMetaFor(s.s, "")}
+	opt.Tracer = obs.Tee(opt.Tracer, &tr.rec)
+	res, err := s.Simulate(opt)
+	if err != nil {
+		return SimResult{}, nil, err
+	}
+	return res, tr, nil
+}

@@ -1,0 +1,89 @@
+package multitree
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multitree/internal/obs"
+)
+
+// TestSimulateTraced runs the public tracing path end to end: build,
+// simulate with recording, export Chrome-trace JSON and the link CSV, and
+// check both artifacts are well formed and consistent with the result.
+func TestSimulateTraced(t *testing.T) {
+	topo := NewTorus(4, 4)
+	s, err := BuildSchedule(topo, MultiTree, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []SimOptions{{}, {PacketLevel: true}} {
+		res, tr, err := s.SimulateTraced(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := s.Simulate(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != plain.Cycles {
+			t.Fatalf("tracing changed the simulation: %d vs %d cycles", res.Cycles, plain.Cycles)
+		}
+		if tr.Events() == 0 {
+			t.Fatalf("no events recorded")
+		}
+
+		var js bytes.Buffer
+		if err := tr.WriteChromeTrace(&js); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(js.Bytes(), &doc); err != nil {
+			t.Fatalf("Chrome trace is not valid JSON: %v", err)
+		}
+		if len(doc.TraceEvents) == 0 {
+			t.Fatalf("Chrome trace has no events")
+		}
+
+		var csv bytes.Buffer
+		if err := tr.WriteLinkStats(&csv, 1000); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+		if len(lines) < 2 || !strings.HasPrefix(lines[0], "link,name,") {
+			t.Fatalf("bad link CSV:\n%s", csv.String())
+		}
+	}
+}
+
+// TestSimOptionsMetrics checks the Metrics field collects without a Tracer
+// and composes with one.
+func TestSimOptionsMetrics(t *testing.T) {
+	topo := NewTorus(4, 4)
+	s, err := BuildSchedule(topo, Ring, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := obs.NewMetrics(0)
+	rec := &obs.Recorder{}
+	if _, err := s.Simulate(SimOptions{Metrics: met, Tracer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	if met.Events() == 0 || int64(len(rec.Events)) != met.Events() {
+		t.Fatalf("metrics saw %d events, recorder %d", met.Events(), len(rec.Events))
+	}
+	if met.StepEnters() == 0 {
+		t.Fatalf("no lockstep step entries observed")
+	}
+	busy := met.LinkBusy()
+	total := 0.0
+	for _, b := range busy {
+		total += b
+	}
+	if total == 0 {
+		t.Fatalf("no link busy time collected")
+	}
+}

@@ -1,5 +1,23 @@
 #!/bin/sh
-# Prints the EXPERIMENTS.md table points from the Fig. 9 CSVs.
+# Prints the EXPERIMENTS.md table points from the Fig. 9 CSVs, or, with
+# -linkutil, regenerates the link-utilization artifacts through the
+# tracing/metrics path (internal/obs):
+#
+#   results/summarize.sh results/fig9a.csv     # table points
+#   results/summarize.sh -linkutil             # linkutil-*.csv, steputil-*.csv
+#
+# The -linkutil mode runs a 1 MiB MultiTree all-reduce on the 4x4 Torus
+# with the packet engine and writes per-link binned utilization plus the
+# per-step utilization comparison (traced vs static schedule analysis;
+# the two columns must match — see TestCrossEngineAgreement).
+if [ "$1" = "-linkutil" ]; then
+  dir=$(dirname "$0")
+  go run ./cmd/allreduce-bench -algo multitree -topo torus-4x4 -size 1MiB \
+    -bin 1000 \
+    -linkstats "$dir/linkutil-torus4x4.csv" \
+    -steputil "$dir/steputil-torus4x4.csv"
+  exit $?
+fi
 for f in "$@"; do
   echo "== $f =="
   awk -F, '$3==32768 || $3==8388608 {printf "%-14s %-14s %8d %8.3f\n", $1, $2, $3, $5}' "$f"
