@@ -26,10 +26,20 @@
 // writes per-link time-binned utilization CSV, -steputil writes per-step
 // link utilization from the trace next to the static schedule analysis.
 //
-// Output is CSV on stdout.
+// Imported-schedule mode: -schedule loads a versioned schedule IR file
+// (written by schedule-dump -export) and runs it through both network
+// engines, the float32 correctness interpreter, and — when the schedule
+// is tree-structured — the Fig. 5 NI table compiler and Fig. 6 machine.
+//
+//	allreduce-bench -schedule multitree.json
+//	allreduce-bench -schedule multitree.json -json
+//
+// Output is CSV on stdout; -json switches the single-run, Fig. 9 and
+// -schedule modes to machine-readable JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -39,8 +49,12 @@ import (
 	"strconv"
 	"strings"
 
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all"
 	"multitree/internal/collective"
 	"multitree/internal/experiments"
+	"multitree/internal/network"
+	"multitree/internal/ni"
 	"multitree/internal/obs"
 	"multitree/internal/topology"
 	"multitree/internal/topospec"
@@ -57,19 +71,24 @@ func main() {
 		topos    = flag.String("topos", "", "comma-separated topology overrides, e.g. torus-4x4,mesh-8x8")
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations for Fig. 9 sweeps")
 
-		algo      = flag.String("algo", "", "single-run mode: algorithm (ring, dbtree, 2d-ring, hdrm, multitree, multitree-msg)")
-		topo      = flag.String("topo", "torus-4x4", "single-run mode: topology spec")
+		algo      = flag.String("algo", "", "single-run mode: algorithm ("+strings.Join(algorithms.Names(), ", ")+"; append -msg for message-based flow control)")
+		topo      = flag.String("topo", "torus-4x4", "single-run mode: topology spec ("+topospec.Usage()+")")
 		size      = flag.String("size", "1MiB", "single-run mode: all-reduce data size")
 		traceOut  = flag.String("trace", "", "single-run mode: write Chrome-trace JSON (ui.perfetto.dev) to this file")
 		linkstats = flag.String("linkstats", "", "single-run mode: write per-link binned utilization CSV to this file")
 		steputil  = flag.String("steputil", "", "single-run mode: write per-step link utilization CSV (trace vs static) to this file")
 		bin       = flag.Float64("bin", 1000, "single-run mode: utilization histogram bin width in cycles")
+
+		schedFile = flag.String("schedule", "", "run a schedule IR file (schedule-dump -export) through both engines, the correctness interpreter and the NI compiler")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of CSV (single-run, Fig. 9 and -schedule modes)")
 	)
 	flag.Parse()
 
 	switch {
+	case *schedFile != "":
+		runSchedule(*schedFile, *jsonOut)
 	case *algo != "":
-		runSingle(*algo, *topo, *size, *engine, *traceOut, *linkstats, *steputil, *bin)
+		runSingle(*algo, *topo, *size, *engine, *traceOut, *linkstats, *steputil, *bin, *jsonOut)
 	case *table1:
 		runTable1(*topos)
 	case *fig == "2":
@@ -78,7 +97,7 @@ func main() {
 			fmt.Printf("%d,%.4f\n", p.PayloadBytes, p.Overhead)
 		}
 	case strings.HasPrefix(*fig, "9"):
-		runFig9(*fig, *topos, *maxSz, *engine, *parallel)
+		runFig9(*fig, *topos, *maxSz, *engine, *parallel, *jsonOut)
 	case *fig == "10":
 		runFig10()
 	default:
@@ -87,11 +106,113 @@ func main() {
 	}
 }
 
+// engineReport is one network engine's verdict on an imported schedule.
+type engineReport struct {
+	Cycles        uint64  `json:"cycles"`
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
+}
+
+// niReport records whether the imported schedule has a Fig. 5 table
+// encoding; ring- and HDRM-style schedules do not, and Reason says why.
+type niReport struct {
+	Compiled    bool   `json:"compiled"`
+	IssueRounds int    `json:"issue_rounds,omitempty"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// scheduleReport is the full -schedule mode result.
+type scheduleReport struct {
+	File      string       `json:"file"`
+	Algorithm string       `json:"algorithm"`
+	Topology  string       `json:"topology"`
+	Nodes     int          `json:"nodes"`
+	DataBytes int64        `json:"data_bytes"`
+	Transfers int          `json:"transfers"`
+	Fluid     engineReport `json:"fluid"`
+	Packet    engineReport `json:"packet"`
+	Correct   bool         `json:"correct"`
+	NITables  niReport     `json:"ni_tables"`
+}
+
+// runSchedule imports a schedule IR file and gives it the same treatment
+// an in-process build gets: both network engines with the Table III
+// default link configuration, the float32 all-reduce interpreter over
+// ramp inputs, and an NI table-compilation attempt with a Fig. 6 machine
+// replay when it succeeds. Validation (DAG shape, link existence, flow
+// coverage, topology fingerprint) already happened inside Import.
+func runSchedule(path string, jsonOut bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := collective.Import(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataBytes := int64(s.Elems) * collective.WordSize
+	rep := scheduleReport{
+		File:      path,
+		Algorithm: s.Algorithm,
+		Topology:  s.Topo.Name(),
+		Nodes:     s.Topo.Nodes(),
+		DataBytes: dataBytes,
+		Transfers: len(s.Transfers),
+	}
+	cfg := network.DefaultConfig()
+	fl, err := network.SimulateFluid(s, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Fluid = engineReport{uint64(fl.Cycles), fl.BandwidthBytesPerCycle(dataBytes)}
+	pk, err := network.SimulatePackets(s, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Packet = engineReport{uint64(pk.Cycles), pk.BandwidthBytesPerCycle(dataBytes)}
+	if err := collective.VerifyAllReduce(s, collective.RampInputs(s.Topo.Nodes(), s.Elems)); err != nil {
+		log.Fatalf("imported schedule fails all-reduce correctness: %v", err)
+	}
+	rep.Correct = true
+	if tables, err := ni.CompileSchedule(s); err != nil {
+		rep.NITables = niReport{Reason: err.Error()}
+	} else {
+		rounds, err := ni.NewMachine(tables, len(s.Flows)).Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.NITables = niReport{Compiled: true, IssueRounds: rounds}
+	}
+	if jsonOut {
+		emitJSON(rep)
+		return
+	}
+	fmt.Printf("schedule %s: %s on %s (%d nodes, %d transfers, %d bytes)\n",
+		path, rep.Algorithm, rep.Topology, rep.Nodes, rep.Transfers, dataBytes)
+	fmt.Println("engine,data_bytes,cycles,bandwidth_gbps")
+	fmt.Printf("fluid,%d,%d,%.3f\n", dataBytes, rep.Fluid.Cycles, rep.Fluid.BandwidthGBps)
+	fmt.Printf("packet,%d,%d,%.3f\n", dataBytes, rep.Packet.Cycles, rep.Packet.BandwidthGBps)
+	fmt.Println("correctness: all-reduce verified over float32 ramp inputs")
+	if rep.NITables.Compiled {
+		fmt.Printf("ni tables: compiled, machine completed in %d issue rounds\n", rep.NITables.IssueRounds)
+	} else {
+		fmt.Printf("ni tables: no Fig. 5 encoding: %s\n", rep.NITables.Reason)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		log.Fatal(err)
+	}
+}
+
 // runSingle traces one (algorithm, topology, size) run and exports the
 // requested artifacts. The packet engine is the default here for the same
 // reason as Fig. 9: its per-packet link occupancy gives the most honest
 // timelines; -engine fluid selects the flow-level engine.
-func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil string, bin float64) {
+func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil string, bin float64, jsonOut bool) {
 	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
 	if err != nil {
 		log.Fatal(err)
@@ -110,9 +231,17 @@ func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil s
 		log.Fatal(err)
 	}
 	p := tr.Point
-	fmt.Println("topology,algorithm,engine,data_bytes,cycles,bandwidth_gbps,events")
-	fmt.Printf("%s,%s,%s,%d,%d,%.3f,%d\n",
-		p.Topology, p.Algorithm, engine, p.DataBytes, p.Cycles, p.BandwidthGBps, len(tr.Events.Events))
+	if jsonOut {
+		emitJSON(struct {
+			experiments.AllReducePoint
+			Engine string `json:"engine"`
+			Events int    `json:"events"`
+		}{p, engine.String(), len(tr.Events.Events)})
+	} else {
+		fmt.Println("topology,algorithm,engine,data_bytes,cycles,bandwidth_gbps,events")
+		fmt.Printf("%s,%s,%s,%d,%d,%.3f,%d\n",
+			p.Topology, p.Algorithm, engine, p.DataBytes, p.Cycles, p.BandwidthGBps, len(tr.Events.Events))
+	}
 
 	if traceOut != "" {
 		writeFile(traceOut, tr.WriteChromeTrace)
@@ -180,7 +309,7 @@ func normalizeTopoSpec(spec string) string {
 	return spec
 }
 
-func runFig9(fig, topoOverride, maxSz, engineName string, parallel int) {
+func runFig9(fig, topoOverride, maxSz, engineName string, parallel int, jsonOut bool) {
 	specs := map[string][]string{
 		"9a": {"torus-4x4", "torus-8x8"},
 		"9b": {"mesh-4x4", "mesh-8x8"},
@@ -205,7 +334,10 @@ func runFig9(fig, topoOverride, maxSz, engineName string, parallel int) {
 	if engineName == "fluid" {
 		engine = experiments.Fluid
 	}
-	fmt.Println("topology,algorithm,data_bytes,cycles,bandwidth_gbps")
+	var all []experiments.AllReducePoint
+	if !jsonOut {
+		fmt.Println("topology,algorithm,data_bytes,cycles,bandwidth_gbps")
+	}
 	for _, spec := range specs {
 		topo, err := topospec.Parse(spec)
 		if err != nil {
@@ -215,9 +347,16 @@ func runFig9(fig, topoOverride, maxSz, engineName string, parallel int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		if jsonOut {
+			all = append(all, points...)
+			continue
+		}
 		for _, p := range points {
 			fmt.Printf("%s,%s,%d,%d,%.3f\n", p.Topology, p.Algorithm, p.DataBytes, p.Cycles, p.BandwidthGBps)
 		}
+	}
+	if jsonOut {
+		emitJSON(all)
 	}
 }
 

@@ -17,6 +17,11 @@
 // domain) and the NI table-walk instants (issue-round domain).
 //
 //	schedule-dump -topo torus-4x4 -trace trace.json -linkstats links.csv
+//
+// Export mode writes any registered algorithm's schedule as a versioned
+// IR JSON file that allreduce-bench -schedule can run:
+//
+//	schedule-dump -topo torus-4x4 -algo multitree -size 1MiB -export mt.json
 package main
 
 import (
@@ -25,7 +30,11 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
+	"strings"
 
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all"
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/dbtree"
@@ -41,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("schedule-dump: ")
 	var (
-		topoStr   = flag.String("topo", "mesh-2x2", "topology spec")
+		topoStr   = flag.String("topo", "mesh-2x2", "topology spec ("+topospec.Usage()+")")
 		tables    = flag.Bool("tables", false, "print the Fig. 5 NI schedule tables")
 		baselines = flag.Bool("baselines", false, "print the Fig. 4 ring and double-binary-tree schedules")
 		util      = flag.Bool("util", false, "print per-step link-utilization charts for every algorithm")
@@ -49,12 +58,21 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON of the MultiTree schedule (links + NI machine)")
 		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the MultiTree schedule")
 		bin       = flag.Float64("bin", 100, "utilization histogram bin width in cycles for -linkstats")
+
+		algo   = flag.String("algo", "multitree", "algorithm for -export ("+strings.Join(algorithms.Names(), ", ")+")")
+		size   = flag.String("size", "1MiB", "all-reduce data size for -export")
+		export = flag.String("export", "", "write the -algo schedule as a versioned IR JSON file and exit")
 	)
 	flag.Parse()
 
 	topo, err := topospec.Parse(*topoStr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *export != "" {
+		exportSchedule(topo, *algo, *size, *export)
+		return
 	}
 	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
 	if err != nil {
@@ -120,6 +138,53 @@ func main() {
 		fmt.Printf("hardware overhead: %d bits/entry, %d entries, %d bytes/table\n",
 			ni.EntryBits(topo.Nodes()), 2*topo.Nodes(), ni.TableBytes(topo.Nodes()))
 	}
+}
+
+// exportSchedule resolves the named algorithm through the registry,
+// builds its schedule at the requested size, and writes the versioned IR
+// file consumed by allreduce-bench -schedule.
+func exportSchedule(topo *topology.Topology, algo, size, path string) {
+	spec, msg, err := algorithms.Resolve(algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if msg {
+		log.Fatalf("%q is a flow-control variant; export the base %q schedule instead", algo, spec.Name)
+	}
+	if !spec.Supports(topo) {
+		log.Fatalf("algorithm %q does not support %s", spec.Name, topo.Name())
+	}
+	dataBytes, err := parseSize(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := algorithms.Build(topo, spec.Name, int(dataBytes/collective.WordSize), algorithms.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeFile(path, func(w io.Writer) error {
+		return collective.Export(w, s)
+	})
+	log.Printf("wrote %s: %s on %s, %d transfers, %d bytes (run with allreduce-bench -schedule %s)",
+		path, s.Algorithm, topo.Name(), len(s.Transfers), dataBytes, path)
+}
+
+// parseSize accepts plain byte counts and KiB/MiB/GiB suffixes.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "KiB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KiB")
+	case strings.HasSuffix(s, "MiB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MiB")
+	case strings.HasSuffix(s, "GiB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GiB")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
 }
 
 // traceSchedule simulates the MultiTree schedule with the fluid engine

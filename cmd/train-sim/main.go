@@ -27,6 +27,8 @@ import (
 	"strings"
 
 	"multitree/internal/accel"
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all"
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/experiments"
@@ -47,7 +49,7 @@ func main() {
 		layers  = flag.String("layers", "", "print the per-layer profile of one model (e.g. -layers ResNet50)")
 
 		modelName = flag.String("model", "ResNet50", "model whose gradient all-reduce to trace")
-		algo      = flag.String("algo", "multitree-msg", "algorithm for -trace/-linkstats")
+		algo      = flag.String("algo", "multitree-msg", "algorithm for -trace/-linkstats ("+strings.Join(algorithms.Names(), ", ")+"; -msg variants allowed)")
 		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON (ui.perfetto.dev) of the model's gradient all-reduce")
 		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the gradient all-reduce")
 		bin       = flag.Float64("bin", 1000, "utilization histogram bin width in cycles for -linkstats")
@@ -106,7 +108,14 @@ func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, 
 	if err != nil {
 		log.Fatal(err)
 	}
-	alg := experiments.AlgSpec{Name: algo, Msg: strings.HasSuffix(algo, "-msg")}
+	spec, msg, err := algorithms.Resolve(algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !spec.Supports(topo) {
+		log.Fatalf("algorithm %q does not support %s", spec.Name, topo.Name())
+	}
+	alg := experiments.AlgSpec{Name: algo, Msg: msg}
 	tr, err := experiments.TraceAllReduce(topo, alg, net.GradientBytes(), experiments.Fluid, bin)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,14 @@
+// Package all registers the five built-in all-reduce algorithms with the
+// central registry. Blank-import it from any binary or test that resolves
+// algorithms by name:
+//
+//	import _ "multitree/internal/algorithms/all"
+package all
+
+import (
+	_ "multitree/internal/core"   // multitree
+	_ "multitree/internal/dbtree" // dbtree
+	_ "multitree/internal/hdrm"   // hdrm
+	_ "multitree/internal/ring"   // ring
+	_ "multitree/internal/ring2d" // 2d-ring
+)

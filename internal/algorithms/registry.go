@@ -1,0 +1,187 @@
+// Package algorithms is the central all-reduce algorithm registry. The
+// paper's core abstraction (§IV-A) is that every all-reduce — ring, double
+// binary tree, 2D-ring, HDRM, MultiTree — lowers to the same schedule-table
+// form the network interface executes; this package makes the set of
+// lowerings a first-class, enumerable artifact. Each algorithm package
+// self-registers a constructor with the uniform signature
+//
+//	Build(topo, elems, opts) (*collective.Schedule, error)
+//
+// plus applicability predicates, and every consumer — the experiments
+// harness, the public facade, and the cmd/ tools — resolves algorithms by
+// name here instead of maintaining its own switch statement.
+//
+// Importing an algorithm package is what registers it; blank-import
+// multitree/internal/algorithms/all to get the full built-in set.
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// MsgSuffix marks the message-based flow-control variant of an algorithm
+// (§IV-B). The variant shares the base algorithm's schedule; only the
+// simulator's flow-control configuration differs, so Resolve strips it
+// before lookup.
+const MsgSuffix = "-msg"
+
+// Options carries per-build tuning knobs shared by all constructors.
+// Algorithms ignore fields that do not apply to them; the zero value
+// selects every algorithm's defaults.
+type Options struct {
+	// Chunks is the pipeline depth for chunk-pipelined algorithms
+	// (dbtree); <= 0 selects the algorithm's default.
+	Chunks int
+}
+
+// Builder constructs an algorithm's schedule for elems gradient elements
+// on a topology.
+type Builder func(topo *topology.Topology, elems int, opts Options) (*collective.Schedule, error)
+
+// Spec describes one registered all-reduce algorithm.
+type Spec struct {
+	// Name is the registry key and the Schedule.Algorithm string.
+	Name string
+
+	// Order fixes the paper's plotting order (Fig. 9 legends); listings
+	// sort by it so the menu does not depend on package-init order.
+	Order int
+
+	// Build constructs the schedule. It must fail with an error — never
+	// panic — on topologies it does not support.
+	Build Builder
+
+	// Supports reports whether Build can produce a schedule on the
+	// topology (e.g. HDRM needs a power-of-two node count).
+	Supports func(*topology.Topology) bool
+
+	// Featured reports whether the algorithm belongs on the paper's
+	// evaluation menu for the topology (e.g. HDRM is plotted only on
+	// switch-based EFLOPS-style fabrics even though it builds anywhere
+	// with 2^k nodes). Nil means Featured == Supports.
+	Featured func(*topology.Topology) bool
+
+	// Note is a one-line applicability description for usage strings.
+	Note string
+}
+
+// featured resolves the Featured predicate with its Supports default.
+func (s Spec) featured(topo *topology.Topology) bool {
+	if s.Featured != nil {
+		return s.Featured(topo)
+	}
+	return s.Supports(topo)
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds an algorithm to the registry. It panics on a duplicate or
+// malformed Spec — registration happens in package init, where a panic is
+// an immediate, loud programming error.
+func Register(s Spec) {
+	if s.Name == "" || s.Build == nil || s.Supports == nil {
+		panic("algorithms: Register needs Name, Build and Supports")
+	}
+	if strings.HasSuffix(s.Name, MsgSuffix) {
+		panic(fmt.Sprintf("algorithms: %q collides with the %s variant namespace", s.Name, MsgSuffix))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("algorithms: %q registered twice", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// Lookup returns the named algorithm's Spec.
+func Lookup(name string) (Spec, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Resolve returns the Spec behind a report name, accepting the MsgSuffix
+// variant of any registered algorithm ("multitree-msg" resolves to
+// "multitree"; msg reports whether the suffix was present). Unknown names
+// return an error that lists the registered set.
+func Resolve(name string) (spec Spec, msg bool, err error) {
+	base := strings.TrimSuffix(name, MsgSuffix)
+	spec, ok := Lookup(base)
+	if !ok {
+		return Spec{}, false, fmt.Errorf("algorithms: unknown algorithm %q (have %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return spec, base != name, nil
+}
+
+// Specs returns all registered algorithms in plotting order.
+func Specs() []Spec {
+	mu.RLock()
+	out := make([]Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Order != out[j].Order {
+			return out[i].Order < out[j].Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns the registered algorithm names in plotting order.
+func Names() []string {
+	specs := Specs()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// For returns the algorithms featured on a topology's evaluation menu, in
+// plotting order.
+func For(topo *topology.Topology) []Spec {
+	var out []Spec
+	for _, s := range Specs() {
+		if s.featured(topo) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Supporting returns every algorithm whose Supports predicate admits the
+// topology (a superset of For: it includes buildable-but-unfeatured
+// pairings such as HDRM on a 16-node torus).
+func Supporting(topo *topology.Topology) []Spec {
+	var out []Spec
+	for _, s := range Specs() {
+		if s.Supports(topo) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Build resolves name (MsgSuffix variants included) and constructs its
+// schedule.
+func Build(topo *topology.Topology, name string, elems int, opts Options) (*collective.Schedule, error) {
+	spec, _, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(topo, elems, opts)
+}

@@ -1,0 +1,212 @@
+package collective_test
+
+// External test package: exercises the schedule IR round trip with real
+// algorithm builders (ring, MultiTree) without an import cycle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/network"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+func fluidCycles(t *testing.T, s *collective.Schedule) uint64 {
+	t.Helper()
+	res, err := network.SimulateFluid(s, network.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return uint64(res.Cycles)
+}
+
+// TestExportImportRoundTrip: export → import reproduces the simulated
+// finish time and the all-reduce semantics, re-export is byte-identical,
+// and ImportInto accepts the original topology object.
+func TestExportImportRoundTrip(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	const elems = 1 << 12
+	for _, build := range []func() (*collective.Schedule, error){
+		func() (*collective.Schedule, error) { return ring.Build(topo, elems), nil },
+		func() (*collective.Schedule, error) { return core.Build(topo, elems, core.DefaultOptions(topo)) },
+	} {
+		orig, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := collective.Export(&buf, orig); err != nil {
+			t.Fatal(err)
+		}
+		file := buf.Bytes()
+
+		imp, err := collective.Import(bytes.NewReader(file))
+		if err != nil {
+			t.Fatalf("%s: import: %v", orig.Algorithm, err)
+		}
+		if imp.Algorithm != orig.Algorithm || imp.Elems != orig.Elems || imp.Steps != orig.Steps {
+			t.Fatalf("%s: header mismatch after import", orig.Algorithm)
+		}
+		if len(imp.Transfers) != len(orig.Transfers) {
+			t.Fatalf("%s: %d transfers, want %d", orig.Algorithm, len(imp.Transfers), len(orig.Transfers))
+		}
+		if got := collective.TopologyFingerprint(imp.Topo); got != collective.TopologyFingerprint(topo) {
+			t.Fatalf("%s: reconstructed topology fingerprint differs", orig.Algorithm)
+		}
+		if want, got := fluidCycles(t, orig), fluidCycles(t, imp); got != want {
+			t.Fatalf("%s: imported schedule finishes in %d cycles, original in %d", orig.Algorithm, got, want)
+		}
+		if err := collective.VerifyAllReduce(imp, collective.RampInputs(topo.Nodes(), elems)); err != nil {
+			t.Fatalf("%s: imported schedule fails correctness: %v", orig.Algorithm, err)
+		}
+
+		var again bytes.Buffer
+		if err := collective.Export(&again, imp); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(file, again.Bytes()) {
+			t.Fatalf("%s: re-export is not byte-identical", orig.Algorithm)
+		}
+
+		into, err := collective.ImportInto(bytes.NewReader(file), topo)
+		if err != nil {
+			t.Fatalf("%s: ImportInto: %v", orig.Algorithm, err)
+		}
+		if into.Topo != topo {
+			t.Fatalf("%s: ImportInto did not keep the provided topology", orig.Algorithm)
+		}
+	}
+}
+
+// TestImportIntoRejectsWrongTopology: a schedule exported on one fabric
+// must not load onto a structurally different one.
+func TestImportIntoRejectsWrongTopology(t *testing.T) {
+	torus := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	mesh := topology.Mesh(4, 4, topology.DefaultLinkConfig())
+	var buf bytes.Buffer
+	if err := collective.Export(&buf, ring.Build(torus, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collective.ImportInto(bytes.NewReader(buf.Bytes()), mesh); err == nil {
+		t.Fatal("ImportInto accepted a mesh for a torus schedule")
+	} else if !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// mutateIR decodes an exported IR file, applies fn, and re-encodes it —
+// the malformed-file generator for rejection tests.
+func mutateIR(t *testing.T, file []byte, fn func(m map[string]any)) []byte {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(file, &m); err != nil {
+		t.Fatal(err)
+	}
+	fn(m)
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestImportRejectsMalformed covers the strict-validation matrix: version
+// gate, dependency cycles, out-of-range flow indices, links that do not
+// exist in the topology, fingerprint drift, and flow-coverage holes.
+func TestImportRejectsMalformed(t *testing.T) {
+	topo := topology.Torus(2, 2, topology.DefaultLinkConfig())
+	var buf bytes.Buffer
+	if err := collective.Export(&buf, ring.Build(topo, 64)); err != nil {
+		t.Fatal(err)
+	}
+	file := buf.Bytes()
+
+	transfer := func(m map[string]any, i int) map[string]any {
+		return m["transfers"].([]any)[i].(map[string]any)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(m map[string]any)
+		wantErr string
+	}{
+		{
+			name:    "unsupported version",
+			mutate:  func(m map[string]any) { m["version"] = 99 },
+			wantErr: "version",
+		},
+		{
+			name: "dependency cycle",
+			mutate: func(m map[string]any) {
+				transfer(m, 0)["deps"] = []any{1}
+				transfer(m, 1)["deps"] = []any{0}
+			},
+			wantErr: "cycle",
+		},
+		{
+			name:    "flow index out of range",
+			mutate:  func(m map[string]any) { transfer(m, 0)["flow"] = 99 },
+			wantErr: "flow 99 out of range",
+		},
+		{
+			name:    "link not in topology",
+			mutate:  func(m map[string]any) { transfer(m, 0)["path"] = []any{9999} },
+			wantErr: "not in topology",
+		},
+		{
+			name: "disconnected pinned path",
+			mutate: func(m map[string]any) {
+				p := transfer(m, 0)["path"].([]any)
+				transfer(m, 1)["path"] = p // endpoints differ -> chain breaks
+			},
+			wantErr: "path",
+		},
+		{
+			name: "fingerprint drift",
+			mutate: func(m map[string]any) {
+				topoM := m["topology"].(map[string]any)
+				topoM["links"].([]any)[0].(map[string]any)["bw"] = 1.5
+			},
+			wantErr: "fingerprint",
+		},
+		{
+			name: "flow coverage hole",
+			mutate: func(m map[string]any) {
+				flows := m["flows"].([]any)
+				last := flows[len(flows)-1].(map[string]any)
+				last["len"] = last["len"].(float64) - 1
+			},
+			wantErr: "uncovered",
+		},
+		{
+			name: "self transfer",
+			mutate: func(m map[string]any) {
+				tr := transfer(m, 0)
+				tr["dst"] = tr["src"]
+			},
+			wantErr: "self-transfer",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := mutateIR(t, file, tc.mutate)
+			_, err := collective.Import(bytes.NewReader(bad))
+			if err == nil {
+				t.Fatalf("import accepted a file with %s", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The unmutated file must still load, proving the mutations (not the
+	// baseline) trigger the rejections.
+	if _, err := collective.Import(bytes.NewReader(file)); err != nil {
+		t.Fatalf("baseline file rejected: %v", err)
+	}
+}

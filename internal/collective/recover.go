@@ -1,0 +1,110 @@
+package collective
+
+import (
+	"fmt"
+
+	"multitree/internal/topology"
+)
+
+// TreesFromSchedule is the inverse of TreesToSchedule: it recovers the
+// per-flow spanning trees from a two-phase schedule whose all-gather
+// phase broadcasts each flow down a tree and whose reduce-scatter phase
+// is the step-reversed mirror (the exact shape Algorithm 1 produces and
+// the Fig. 5 schedule tables encode). This is what lets an imported
+// schedule IR file reach the NI table compiler with no access to the
+// algorithm that built it.
+//
+// Schedules that are not in this form — ring's all-gather continues
+// around the ring instead of retracing the reduce path, HDRM exchanges
+// nested segment halves across flows — are rejected with a descriptive
+// error; they still simulate and execute, they just have no Fig. 5 table
+// encoding.
+func TreesFromSchedule(s *Schedule) ([]*Tree, error) {
+	if s.Steps <= 0 || s.Steps%2 != 0 {
+		return nil, fmt.Errorf("collective: %s schedule has %d steps, not an even two-phase count", s.Algorithm, s.Steps)
+	}
+	tot := s.Steps / 2
+	n := s.Topo.Nodes()
+
+	type mirror struct {
+		src, dst topology.NodeID
+		step     int
+	}
+	gathers := make(map[int][]*Transfer)
+	reduces := make(map[int]map[mirror]int)
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		switch t.Op {
+		case Gather:
+			gathers[t.Flow] = append(gathers[t.Flow], t)
+		case Reduce:
+			if reduces[t.Flow] == nil {
+				reduces[t.Flow] = map[mirror]int{}
+			}
+			reduces[t.Flow][mirror{t.Src, t.Dst, t.Step}]++
+		}
+	}
+
+	trees := make([]*Tree, len(s.Flows))
+	for f := range s.Flows {
+		edges := gathers[f]
+		if len(edges) == 0 {
+			return nil, fmt.Errorf("collective: flow %d has no all-gather transfers", f)
+		}
+		tr := NewTree(f, -1, n)
+		hasParent := make([]bool, n)
+		inFlow := make([]bool, n)
+		left := reduces[f]
+		for _, t := range edges {
+			agStep := t.Step - tot
+			if agStep < 1 || agStep > tot {
+				return nil, fmt.Errorf("collective: flow %d gather at step %d is outside the all-gather phase (%d..%d)",
+					f, t.Step, tot+1, 2*tot)
+			}
+			if hasParent[t.Dst] {
+				return nil, fmt.Errorf("collective: flow %d node %d receives two all-gather transfers", f, t.Dst)
+			}
+			hasParent[t.Dst] = true
+			inFlow[t.Src], inFlow[t.Dst] = true, true
+			tr.SetEdge(t.Src, t.Dst, agStep)
+			tr.Path[t.Dst] = t.Path
+			// The mirrored reduce: child -> parent at the reversed step.
+			m := mirror{t.Dst, t.Src, tot - agStep + 1}
+			if left[m] == 0 {
+				return nil, fmt.Errorf("collective: flow %d edge n%d->n%d (gather step %d) has no mirrored reduce n%d->n%d at step %d",
+					f, t.Src, t.Dst, t.Step, m.src, m.dst, m.step)
+			}
+			left[m]--
+		}
+		for m, c := range left {
+			if c > 0 {
+				return nil, fmt.Errorf("collective: flow %d reduce n%d->n%d at step %d mirrors no all-gather edge",
+					f, m.src, m.dst, m.step)
+			}
+		}
+		members := 0
+		for node := 0; node < n; node++ {
+			if !inFlow[node] {
+				continue
+			}
+			members++
+			if !hasParent[node] {
+				if tr.Root >= 0 {
+					return nil, fmt.Errorf("collective: flow %d has two roots (n%d and n%d)", f, tr.Root, node)
+				}
+				tr.Root = topology.NodeID(node)
+			}
+		}
+		if tr.Root < 0 {
+			return nil, fmt.Errorf("collective: flow %d all-gather edges form a cycle", f)
+		}
+		if members < n {
+			tr.Members = inFlow
+		}
+		if err := tr.Validate(); err != nil {
+			return nil, fmt.Errorf("collective: flow %d does not form a schedule tree: %w", f, err)
+		}
+		trees[f] = tr
+	}
+	return trees, nil
+}

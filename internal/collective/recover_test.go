@@ -1,0 +1,106 @@
+package collective_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/hdrm"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+// TestTreesFromScheduleRoundTrip: recovering the trees from a MultiTree
+// schedule and lowering them again reproduces the schedule transfer for
+// transfer — the IR and the tree form carry the same information.
+func TestTreesFromScheduleRoundTrip(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	const elems = 320
+	orig, err := core.Build(topo, elems, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := collective.TreesFromSchedule(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != topo.Nodes() {
+		t.Fatalf("recovered %d trees, want %d", len(trees), topo.Nodes())
+	}
+	rebuilt, err := collective.TreesToSchedule(orig.Algorithm, topo, elems, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt.Transfers) != len(orig.Transfers) || rebuilt.Steps != orig.Steps {
+		t.Fatalf("rebuilt schedule shape differs: %d transfers/%d steps vs %d/%d",
+			len(rebuilt.Transfers), rebuilt.Steps, len(orig.Transfers), orig.Steps)
+	}
+	type key struct {
+		src, dst topology.NodeID
+		op       collective.Op
+		flow     int
+		step     int
+	}
+	want := map[key]int{}
+	for i := range orig.Transfers {
+		tr := &orig.Transfers[i]
+		want[key{tr.Src, tr.Dst, tr.Op, tr.Flow, tr.Step}]++
+	}
+	for i := range rebuilt.Transfers {
+		tr := &rebuilt.Transfers[i]
+		k := key{tr.Src, tr.Dst, tr.Op, tr.Flow, tr.Step}
+		if want[k] == 0 {
+			t.Fatalf("rebuilt schedule has extra transfer %+v", k)
+		}
+		want[k]--
+	}
+}
+
+// TestTreesFromScheduleSurvivesExport: tree recovery works identically on
+// a schedule that went through the IR file format.
+func TestTreesFromScheduleSurvivesExport(t *testing.T) {
+	topo := topology.Mesh(2, 2, topology.DefaultLinkConfig())
+	orig, err := core.Build(topo, 64, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := collective.Export(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := collective.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trees, err := collective.TreesFromSchedule(imp)
+	if err != nil {
+		t.Fatalf("recovery failed on imported schedule: %v", err)
+	}
+	for _, tr := range trees {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTreesFromScheduleRejectsNonTreeForms: ring's all-gather does not
+// retrace its reduce path and HDRM exchanges nested flow halves; both
+// must be rejected with a descriptive error rather than mis-recovered.
+func TestTreesFromScheduleRejectsNonTreeForms(t *testing.T) {
+	torus := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	if _, err := collective.TreesFromSchedule(ring.Build(torus, 256)); err == nil {
+		t.Fatal("ring schedule recovered as trees")
+	} else if !strings.Contains(err.Error(), "mirror") {
+		t.Fatalf("ring rejection should mention the missing mirror, got: %v", err)
+	}
+	big := topology.BiGraph(4, 4, topology.DefaultLinkConfig())
+	hs, err := hdrm.Build(big, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collective.TreesFromSchedule(hs); err == nil {
+		t.Fatal("hdrm schedule recovered as trees")
+	}
+}

@@ -13,6 +13,7 @@ package collective
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
 	"multitree/internal/topology"
 )
@@ -183,12 +184,18 @@ func Partition(elems, parts int) []Range {
 }
 
 // Validate checks structural well-formedness: ids in range, src != dst,
-// deps reference earlier-validated transfers, flows within bounds, and the
-// dependency graph being acyclic. Algorithms call it in tests; simulators
-// assume a valid schedule.
+// deps reference earlier-validated transfers, flow indices and segment
+// ranges within bounds, pinned link paths that exist in the topology and
+// connect their endpoints, and the dependency graph being acyclic.
+// Algorithms call it in tests; simulators assume a valid schedule.
 func (s *Schedule) Validate() error {
 	if s.Topo == nil {
 		return fmt.Errorf("collective: schedule %q has no topology", s.Algorithm)
+	}
+	for f, r := range s.Flows {
+		if r.Off < 0 || r.Len < 0 || r.End() > s.Elems {
+			return fmt.Errorf("flow %d: range [%d,%d) outside gradient [0,%d)", f, r.Off, r.End(), s.Elems)
+		}
 	}
 	n := topology.NodeID(s.Topo.Nodes())
 	for i := range s.Transfers {
@@ -216,11 +223,81 @@ func (s *Schedule) Validate() error {
 				return fmt.Errorf("transfer %d: dep %d out of range", i, d)
 			}
 		}
+		if t.Path != nil {
+			if err := s.validatePath(t); err != nil {
+				return fmt.Errorf("transfer %d: %w", i, err)
+			}
+		}
 	}
 	if _, err := s.TopoOrder(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// validatePath checks a pinned source route: every link exists in the
+// topology and the links chain contiguously from Src to Dst.
+func (s *Schedule) validatePath(t *Transfer) error {
+	links := s.Topo.Links()
+	if len(t.Path) == 0 {
+		return fmt.Errorf("pinned path is empty")
+	}
+	at := int(t.Src)
+	for hop, id := range t.Path {
+		if id < 0 || int(id) >= len(links) {
+			return fmt.Errorf("path hop %d: link %d not in topology (%d links)", hop, id, len(links))
+		}
+		l := links[id]
+		if l.Src != at {
+			return fmt.Errorf("path hop %d: link %d starts at vertex %d, want %d", hop, id, l.Src, at)
+		}
+		at = l.Dst
+	}
+	if at != int(t.Dst) {
+		return fmt.Errorf("pinned path ends at vertex %d, want node %d", at, t.Dst)
+	}
+	return nil
+}
+
+// ValidateStrict is the import-time validation: Validate plus the flow
+// coverage property — the union of flow segments must cover the whole
+// gradient [0, Elems), so no element can escape reduction merely because
+// no transfer ever references it.
+func (s *Schedule) ValidateStrict() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.Elems > 0 && len(s.Transfers) > 0 {
+		if hole, ok := flowCoverageHole(s.Flows, s.Elems); ok {
+			return fmt.Errorf("collective: flows leave element %d of [0,%d) uncovered", hole, s.Elems)
+		}
+	}
+	return nil
+}
+
+// flowCoverageHole returns the first element of [0, elems) not covered by
+// any flow range, if one exists.
+func flowCoverageHole(flows []Range, elems int) (int, bool) {
+	ranges := make([]Range, 0, len(flows))
+	for _, r := range flows {
+		if r.Len > 0 {
+			ranges = append(ranges, r)
+		}
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Off < ranges[j].Off })
+	covered := 0
+	for _, r := range ranges {
+		if r.Off > covered {
+			return covered, true
+		}
+		if r.End() > covered {
+			covered = r.End()
+		}
+	}
+	if covered < elems {
+		return covered, true
+	}
+	return 0, false
 }
 
 // TopoOrder returns a deterministic topological order of the transfers

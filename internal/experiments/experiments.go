@@ -10,10 +10,10 @@ import (
 	"fmt"
 	"sync"
 
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all" // register the built-in algorithms
 	"multitree/internal/collective"
 	"multitree/internal/core"
-	"multitree/internal/dbtree"
-	"multitree/internal/hdrm"
 	"multitree/internal/network"
 	"multitree/internal/ring"
 	"multitree/internal/ring2d"
@@ -56,49 +56,35 @@ type AlgSpec struct {
 }
 
 // Algorithms returns the algorithm variants applicable to a topology, in
-// the paper's plotting order.
+// the paper's plotting order: the registry's featured menu plus the
+// MULTITREE-MSG flow-control variant.
 func Algorithms(topo *topology.Topology) []AlgSpec {
-	specs := []AlgSpec{{Name: ring.Algorithm}, {Name: dbtree.Algorithm}}
-	if nx, _ := topo.GridDims(); nx > 0 {
-		specs = append(specs, AlgSpec{Name: ring2d.Algorithm})
+	var specs []AlgSpec
+	for _, a := range algorithms.For(topo) {
+		specs = append(specs, AlgSpec{Name: a.Name})
 	}
-	if n := topo.Nodes(); n&(n-1) == 0 && topo.Class() == topology.Indirect {
-		specs = append(specs, AlgSpec{Name: hdrm.Algorithm})
-	}
-	specs = append(specs,
-		AlgSpec{Name: core.Algorithm},
-		AlgSpec{Name: core.Algorithm + "-msg", Msg: true},
-	)
+	specs = append(specs, AlgSpec{Name: core.Algorithm + algorithms.MsgSuffix, Msg: true})
 	return specs
 }
 
-// BuildSchedule constructs the named algorithm's schedule (the "-msg"
-// suffix shares the MultiTree schedule).
+// BuildSchedule resolves the named algorithm through the central registry
+// and constructs its schedule. A "-msg" suffix selects message-based flow
+// control in the simulator and shares the base algorithm's schedule.
 func BuildSchedule(topo *topology.Topology, name string, elems int) (*collective.Schedule, error) {
-	switch name {
-	case ring.Algorithm:
-		return ring.Build(topo, elems), nil
-	case dbtree.Algorithm:
-		return dbtree.Build(topo, elems, 0)
-	case ring2d.Algorithm:
-		return ring2d.Build(topo, elems)
-	case hdrm.Algorithm:
-		return hdrm.Build(topo, elems)
-	case core.Algorithm, core.Algorithm + "-msg":
-		return core.Build(topo, elems, core.DefaultOptions(topo))
-	}
-	return nil, fmt.Errorf("experiments: unknown algorithm %q", name)
+	return algorithms.Build(topo, name, elems, algorithms.Options{})
 }
 
-// AllReducePoint is one measurement of Fig. 9/10.
+// AllReducePoint is one measurement of Fig. 9/10. The JSON tags define
+// the machine-readable result format of allreduce-bench -json, consumed
+// by perf-trajectory tracking.
 type AllReducePoint struct {
-	Topology  string
-	Algorithm string
-	DataBytes int64
-	Cycles    uint64
+	Topology  string `json:"topology"`
+	Algorithm string `json:"algorithm"`
+	DataBytes int64  `json:"data_bytes"`
+	Cycles    uint64 `json:"cycles"`
 	// BandwidthGBps is data size / time, the §VI-A metric (1 B/cycle =
 	// 1 GB/s at the 1 GHz router clock).
-	BandwidthGBps float64
+	BandwidthGBps float64 `json:"bandwidth_gbps"`
 }
 
 // MeasureAllReduce simulates one (topology, algorithm, size) point.

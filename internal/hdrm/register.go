@@ -1,0 +1,31 @@
+package hdrm
+
+import (
+	"multitree/internal/algorithms"
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// Self-registration in the central algorithm registry. HDRM builds on any
+// power-of-two node count (degrading to plain halving-doubling away from
+// BiGraph), but the paper's evaluation menu features it only on
+// switch-based EFLOPS-style fabrics, hence the narrower Featured
+// predicate.
+func init() {
+	algorithms.Register(algorithms.Spec{
+		Name:  Algorithm,
+		Order: 40,
+		Note:  "EFLOPS halving-doubling with rank mapping, 2^k nodes (featured on switch-based fabrics)",
+		Build: func(topo *topology.Topology, elems int, _ algorithms.Options) (*collective.Schedule, error) {
+			return Build(topo, elems)
+		},
+		Supports: func(topo *topology.Topology) bool {
+			n := topo.Nodes()
+			return n >= 2 && n&(n-1) == 0
+		},
+		Featured: func(topo *topology.Topology) bool {
+			n := topo.Nodes()
+			return n >= 2 && n&(n-1) == 0 && topo.Class() == topology.Indirect
+		},
+	})
+}

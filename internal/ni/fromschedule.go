@@ -1,0 +1,43 @@
+package ni
+
+import (
+	"fmt"
+
+	"multitree/internal/collective"
+)
+
+// CompileSchedule compiles a schedule — built in-process or imported from
+// a schedule IR file — into the per-node Fig. 5 tables, by recovering its
+// spanning trees (collective.TreesFromSchedule) and lowering them exactly
+// like the in-process MultiTree path. The DMA descriptors are bound from
+// the schedule's own flow segment table, so non-uniform partitions
+// survive the round trip.
+//
+// Schedules whose two phases are not mirrored trees (ring, HDRM) have no
+// Fig. 5 encoding and return a descriptive error.
+func CompileSchedule(s *collective.Schedule) (*Tables, error) {
+	trees, err := collective.TreesFromSchedule(s)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range trees {
+		if tr.Members != nil {
+			return nil, fmt.Errorf("ni: flow %d covers a node subset; subset schedules are not table-compilable", tr.Flow)
+		}
+	}
+	ts, err := Compile(trees, s.Topo.Nodes())
+	if err != nil {
+		return nil, err
+	}
+	for n := range ts.PerNode {
+		for i := range ts.PerNode[n].Entries {
+			e := &ts.PerNode[n].Entries[i]
+			if e.Op == collective.NOP {
+				continue
+			}
+			seg := s.Flows[e.FlowID]
+			e.StartAddr, e.Size = seg.Off, seg.Len
+		}
+	}
+	return ts, nil
+}

@@ -1,0 +1,87 @@
+package ni
+
+import (
+	"bytes"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/ring"
+	"multitree/internal/topology"
+)
+
+// TestCompileScheduleMatchesCompile: compiling tables from the lowered
+// schedule produces the same tables as compiling from the trees directly,
+// and the Fig. 6 machine drives them to a complete all-reduce.
+func TestCompileScheduleMatchesCompile(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	const elems = 1 << 10
+	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := collective.TreesToSchedule(core.Algorithm, topo, elems, trees)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrees, err := Compile(trees, topo.Nodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTrees.Bind(elems, len(trees))
+	fromSched, err := CompileSchedule(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSched.Steps != fromTrees.Steps {
+		t.Fatalf("steps: %d vs %d", fromSched.Steps, fromTrees.Steps)
+	}
+	for n := range fromTrees.PerNode {
+		a, b := fromTrees.PerNode[n], fromSched.PerNode[n]
+		if len(a.Entries) != len(b.Entries) {
+			t.Fatalf("node %d: %d entries vs %d", n, len(a.Entries), len(b.Entries))
+		}
+		for i := range a.Entries {
+			if a.Entries[i] != b.Entries[i] {
+				t.Fatalf("node %d entry %d: %+v vs %+v", n, i, a.Entries[i], b.Entries[i])
+			}
+		}
+	}
+	if _, err := NewMachine(fromSched, len(trees)).Run(); err != nil {
+		t.Fatalf("machine run on schedule-compiled tables: %v", err)
+	}
+}
+
+// TestCompileScheduleImported: an IR file that crossed the export/import
+// boundary still compiles to runnable tables — the end-to-end NI path for
+// external schedules.
+func TestCompileScheduleImported(t *testing.T) {
+	topo := topology.Mesh(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, 640, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := collective.Export(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := collective.Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := CompileSchedule(imp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMachine(tables, len(imp.Flows)).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileScheduleRejectsRing: non-tree schedules get a clear error.
+func TestCompileScheduleRejectsRing(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	if _, err := CompileSchedule(ring.Build(topo, 256)); err == nil {
+		t.Fatal("ring schedule compiled to NI tables")
+	}
+}

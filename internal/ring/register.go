@@ -1,0 +1,21 @@
+package ring
+
+import (
+	"multitree/internal/algorithms"
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// Self-registration in the central algorithm registry: ring applies to any
+// connected topology with at least two nodes.
+func init() {
+	algorithms.Register(algorithms.Spec{
+		Name:  Algorithm,
+		Order: 10,
+		Note:  "bandwidth-optimal ring, any topology with >= 2 nodes",
+		Build: func(topo *topology.Topology, elems int, _ algorithms.Options) (*collective.Schedule, error) {
+			return Build(topo, elems), nil
+		},
+		Supports: func(topo *topology.Topology) bool { return topo.Nodes() >= 2 },
+	})
+}

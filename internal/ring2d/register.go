@@ -1,0 +1,24 @@
+package ring2d
+
+import (
+	"multitree/internal/algorithms"
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// Self-registration in the central algorithm registry: 2D-Ring needs grid
+// coordinates (Mesh or Torus).
+func init() {
+	algorithms.Register(algorithms.Spec{
+		Name:  Algorithm,
+		Order: 30,
+		Note:  "TPU-pod 2D-Ring, grid (mesh/torus) topologies only",
+		Build: func(topo *topology.Topology, elems int, _ algorithms.Options) (*collective.Schedule, error) {
+			return Build(topo, elems)
+		},
+		Supports: func(topo *topology.Topology) bool {
+			nx, _ := topo.GridDims()
+			return nx > 0
+		},
+	})
+}

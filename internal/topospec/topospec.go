@@ -11,12 +11,31 @@ import (
 	"multitree/internal/topology"
 )
 
+// Kinds returns the recognized spec shapes in display order, for CLI
+// usage strings and unknown-kind errors.
+func Kinds() []string {
+	return []string{
+		"torus-<nx>x<ny>",
+		"mesh-<nx>x<ny>",
+		"torus3d-<nx>x<ny>x<nz>",
+		"mesh3d-<nx>x<ny>x<nz>",
+		"dragonfly-<groups>x<routers>x<nodes>",
+		"fattree-<n>",
+		"bigraph-<n>",
+	}
+}
+
+// Usage is the one-line form of Kinds, e.g. for flag descriptions.
+func Usage() string {
+	return strings.Join(Kinds(), ", ")
+}
+
 // Parse builds the named topology with Table III link parameters.
 func Parse(spec string) (*topology.Topology, error) {
 	cfg := topology.DefaultLinkConfig()
 	kind, arg, ok := strings.Cut(spec, "-")
 	if !ok {
-		return nil, fmt.Errorf("topospec: %q is not <kind>-<size>", spec)
+		return nil, fmt.Errorf("topospec: %q is not <kind>-<size> (known kinds: %s)", spec, Usage())
 	}
 	switch kind {
 	case "torus", "mesh":
@@ -28,6 +47,9 @@ func Parse(spec string) (*topology.Topology, error) {
 		ny, err2 := strconv.Atoi(ys)
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("topospec: bad grid size in %q", spec)
+		}
+		if err := checkDims(spec, nx, ny); err != nil {
+			return nil, err
 		}
 		if kind == "torus" {
 			return topology.Torus(nx, ny, cfg), nil
@@ -45,6 +67,9 @@ func Parse(spec string) (*topology.Topology, error) {
 				return nil, fmt.Errorf("topospec: bad grid size in %q", spec)
 			}
 			d[i] = v
+		}
+		if err := checkDims(spec, d[0], d[1], d[2]); err != nil {
+			return nil, err
 		}
 		if kind == "torus3d" {
 			return topology.Torus3D(d[0], d[1], d[2], cfg), nil
@@ -64,11 +89,17 @@ func Parse(spec string) (*topology.Topology, error) {
 			}
 			d[i] = v
 		}
+		if err := checkDragonfly(spec, d[0], d[1], d[2]); err != nil {
+			return nil, err
+		}
 		return topology.Dragonfly(d[0], d[1], d[2], cfg), nil
 	case "fattree":
 		n, err := strconv.Atoi(arg)
 		if err != nil {
 			return nil, fmt.Errorf("topospec: bad fat-tree size in %q", spec)
+		}
+		if n < 4 {
+			return nil, fmt.Errorf("topospec: fat-tree size %d is too small; need at least 4 nodes", n)
 		}
 		switch n {
 		case 16:
@@ -91,12 +122,36 @@ func Parse(spec string) (*topology.Topology, error) {
 			return nil, fmt.Errorf("topospec: bad bigraph size in %q", spec)
 		}
 		// Four nodes per switch as in EFLOPS's 32- and 64-node systems.
-		if n%8 != 0 {
-			return nil, fmt.Errorf("topospec: bigraph size %d is not a multiple of 8", n)
+		if n < 8 || n%8 != 0 {
+			return nil, fmt.Errorf("topospec: bigraph size %d is not a positive multiple of 8", n)
 		}
 		return topology.BiGraph(n/8, 4, cfg), nil
 	}
-	return nil, fmt.Errorf("topospec: unknown topology kind %q", kind)
+	return nil, fmt.Errorf("topospec: unknown topology kind %q (known kinds: %s)", kind, Usage())
+}
+
+// checkDims rejects degenerate grid shapes before they reach the
+// topology constructors, which panic on dimensions below 2.
+func checkDims(spec string, dims ...int) error {
+	for _, d := range dims {
+		if d < 2 {
+			return fmt.Errorf("topospec: %q has dimension %d; every grid dimension must be >= 2", spec, d)
+		}
+	}
+	return nil
+}
+
+// checkDragonfly mirrors the dragonfly constructor's panic conditions as
+// errors: >= 2 groups, enough routers for full global connectivity, and
+// at least one node per router.
+func checkDragonfly(spec string, groups, routers, nodes int) error {
+	if groups < 2 || routers < 1 || nodes < 1 {
+		return fmt.Errorf("topospec: %q needs >= 2 groups, >= 1 router and >= 1 node per router", spec)
+	}
+	if routers < groups-1 {
+		return fmt.Errorf("topospec: %q needs routers >= groups-1 for full global connectivity", spec)
+	}
+	return nil
 }
 
 // TorusFor returns the near-square 2D torus with n nodes used by the

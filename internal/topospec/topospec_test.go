@@ -1,6 +1,9 @@
 package topospec
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseGood(t *testing.T) {
 	cases := map[string]struct {
@@ -33,6 +36,38 @@ func TestParseBad(t *testing.T) {
 		if _, err := Parse(spec); err == nil {
 			t.Errorf("Parse(%q) did not error", spec)
 		}
+	}
+}
+
+func TestParseDegenerateDims(t *testing.T) {
+	// Shapes that are syntactically well formed but describe no usable
+	// fabric must be rejected before reaching the constructors.
+	for _, spec := range []string{
+		"torus-0x4", "torus-1x4", "mesh-4x0", "torus--2x4", "torus-1x1",
+		"torus3d-0x4x4", "torus3d-1x4x4", "mesh3d-4x-1x4",
+		"dragonfly-0x4x2", "dragonfly-4x2x2", // routers < groups-1
+		"fattree-0", "fattree-1", "bigraph-0", "bigraph--8",
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) did not error", spec)
+		}
+	}
+}
+
+func TestUsageListsEveryKind(t *testing.T) {
+	u := Usage()
+	for _, kind := range []string{"torus-", "mesh-", "torus3d-", "mesh3d-", "dragonfly-", "fattree-", "bigraph-"} {
+		if !strings.Contains(u, kind) {
+			t.Errorf("Usage() omits %q: %s", kind, u)
+		}
+	}
+	if len(Kinds()) != 7 {
+		t.Errorf("Kinds() has %d entries", len(Kinds()))
+	}
+	// The unknown-kind error carries the listing so CLI users see the menu.
+	_, err := Parse("ring-8")
+	if err == nil || !strings.Contains(err.Error(), "torus-<nx>x<ny>") {
+		t.Errorf("unknown-kind error should list known kinds, got: %v", err)
 	}
 }
 

@@ -3,14 +3,11 @@ package multitree
 import (
 	"fmt"
 
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all" // register the built-in algorithms
 	"multitree/internal/collective"
-	"multitree/internal/core"
-	"multitree/internal/dbtree"
-	"multitree/internal/hdrm"
 	"multitree/internal/network"
 	"multitree/internal/obs"
-	"multitree/internal/ring"
-	"multitree/internal/ring2d"
 	"multitree/internal/topology"
 )
 
@@ -27,9 +24,15 @@ const (
 	MultiTree Algorithm = "multitree"
 )
 
-// Algorithms lists all supported algorithms.
+// Algorithms lists all supported algorithms, in the central registry's
+// plotting order.
 func Algorithms() []Algorithm {
-	return []Algorithm{Ring, DBTree, Ring2D, HDRM, MultiTree}
+	names := algorithms.Names()
+	out := make([]Algorithm, len(names))
+	for i, n := range names {
+		out[i] = Algorithm(n)
+	}
+	return out
 }
 
 // LinkConfig sets the physical link parameters; the zero value selects the
@@ -107,21 +110,12 @@ func (t *Topology) Name() string { return t.t.Name() }
 // Nodes returns the number of accelerators.
 func (t *Topology) Nodes() int { return t.t.Nodes() }
 
-// Supports reports whether an algorithm applies to this topology:
-// 2D-Ring needs a grid, HDRM needs a power-of-two node count, DBTree needs
-// at least two nodes; Ring and MultiTree apply everywhere.
+// Supports reports whether an algorithm applies to this topology, per the
+// central registry's applicability predicates: 2D-Ring needs a grid, HDRM
+// needs a power-of-two node count, the rest need at least two nodes.
 func (t *Topology) Supports(alg Algorithm) bool {
-	switch alg {
-	case Ring2D:
-		nx, _ := t.t.GridDims()
-		return nx > 0
-	case HDRM:
-		n := t.t.Nodes()
-		return n >= 2 && n&(n-1) == 0
-	case Ring, DBTree, MultiTree:
-		return t.t.Nodes() >= 2
-	}
-	return false
+	spec, ok := algorithms.Lookup(string(alg))
+	return ok && spec.Supports(t.t)
 }
 
 // Schedule is a complete all-reduce communication plan, ready to simulate
@@ -138,24 +132,7 @@ func BuildSchedule(t *Topology, alg Algorithm, dataBytes int64) (*Schedule, erro
 	if elems < 1 {
 		return nil, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
 	}
-	var (
-		s   *collective.Schedule
-		err error
-	)
-	switch alg {
-	case Ring:
-		s = ring.Build(t.t, elems)
-	case DBTree:
-		s, err = dbtree.Build(t.t, elems, 0)
-	case Ring2D:
-		s, err = ring2d.Build(t.t, elems)
-	case HDRM:
-		s, err = hdrm.Build(t.t, elems)
-	case MultiTree:
-		s, err = core.Build(t.t, elems, core.DefaultOptions(t.t))
-	default:
-		return nil, fmt.Errorf("multitree: unknown algorithm %q", alg)
-	}
+	s, err := algorithms.Build(t.t, string(alg), elems, algorithms.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -190,12 +167,12 @@ func (s *Schedule) Verify() error {
 	elems := s.s.Elems
 	if elems > 4096 {
 		// Verification is semantic, not size-dependent; cap the vector so
-		// Verify stays cheap on multi-GiB schedules.
-		small, err := rebuild(s.s, 4096)
-		if err != nil {
-			return err
+		// Verify stays cheap on multi-GiB schedules. Imported schedules may
+		// not be rebuildable (unknown algorithm name); those verify at full
+		// size below.
+		if small, err := rebuild(s.s, 4096); err == nil {
+			return collective.VerifyAllReduce(small, collective.RampInputs(small.Topo.Nodes(), small.Elems))
 		}
-		return collective.VerifyAllReduce(small, collective.RampInputs(small.Topo.Nodes(), small.Elems))
 	}
 	return collective.VerifyAllReduce(s.s, collective.RampInputs(s.s.Topo.Nodes(), elems))
 }

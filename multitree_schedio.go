@@ -1,0 +1,37 @@
+package multitree
+
+import (
+	"io"
+
+	"multitree/internal/collective"
+)
+
+// Export writes the schedule in the versioned IR JSON interchange format:
+// header, embedded topology (links + fingerprint), flow segment table,
+// and the transfer DAG with every route pinned. The output is
+// deterministic — exporting the same schedule twice yields identical
+// bytes — and round-trips through ImportSchedule with identical simulated
+// timing and reduction semantics.
+func (s *Schedule) Export(w io.Writer) error {
+	return collective.Export(w, s.s)
+}
+
+// ImportSchedule reads a schedule IR file written by Export (or by
+// schedule-dump -export), reconstructs its topology from the embedded
+// link list, and strictly validates it: dependency DAG acyclicity, link
+// existence and path connectivity, flow-range bounds, and full element
+// coverage. Malformed files are rejected with a descriptive error.
+func ImportSchedule(r io.Reader) (*Schedule, error) {
+	s, err := collective.Import(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
+}
+
+// Topology returns the fabric the schedule targets. For imported
+// schedules this is the reconstruction from the file's embedded link
+// list, which simulates identically to the original.
+func (s *Schedule) Topology() *Topology {
+	return &Topology{t: s.s.Topo}
+}
