@@ -38,6 +38,7 @@ func benchAllReduce(b *testing.B, spec string, dataBytes int64, engine experimen
 	}
 	for _, alg := range experiments.Algorithms(topo) {
 		b.Run(fmt.Sprintf("%s/%s", spec, alg.Name), func(b *testing.B) {
+			b.ReportAllocs()
 			var p experiments.AllReducePoint
 			for i := 0; i < b.N; i++ {
 				p, err = experiments.MeasureAllReduce(topo, alg, dataBytes, engine)
@@ -54,18 +55,21 @@ func benchAllReduce(b *testing.B, spec string, dataBytes int64, engine experimen
 // BenchmarkFig9a_Torus regenerates the Torus bandwidth comparison
 // (Fig. 9a) at the 1 MiB point with the packet-level reference engine.
 func BenchmarkFig9a_Torus(b *testing.B) {
+	b.ReportAllocs()
 	benchAllReduce(b, "torus-4x4", 1<<20, experiments.Packet)
 	benchAllReduce(b, "torus-8x8", 1<<20, experiments.Packet)
 }
 
 // BenchmarkFig9b_Mesh regenerates the Mesh comparison (Fig. 9b).
 func BenchmarkFig9b_Mesh(b *testing.B) {
+	b.ReportAllocs()
 	benchAllReduce(b, "mesh-4x4", 1<<20, experiments.Packet)
 	benchAllReduce(b, "mesh-8x8", 1<<20, experiments.Packet)
 }
 
 // BenchmarkFig9c_FatTree regenerates the Fat-Tree comparison (Fig. 9c).
 func BenchmarkFig9c_FatTree(b *testing.B) {
+	b.ReportAllocs()
 	benchAllReduce(b, "fattree-16", 1<<20, experiments.Packet)
 	benchAllReduce(b, "fattree-64", 1<<20, experiments.Packet)
 }
@@ -73,6 +77,7 @@ func BenchmarkFig9c_FatTree(b *testing.B) {
 // BenchmarkFig9d_BiGraph regenerates the BiGraph comparison (Fig. 9d),
 // including the EFLOPS HDRM baseline.
 func BenchmarkFig9d_BiGraph(b *testing.B) {
+	b.ReportAllocs()
 	benchAllReduce(b, "bigraph-32", 1<<20, experiments.Packet)
 	benchAllReduce(b, "bigraph-64", 1<<20, experiments.Packet)
 }
@@ -82,6 +87,7 @@ func BenchmarkFig9d_BiGraph(b *testing.B) {
 // MULTITREE-MSG, reporting times normalized to 16-node Ring (Fig. 10's
 // y-axis).
 func BenchmarkFig10_Scalability(b *testing.B) {
+	b.ReportAllocs()
 	var points []experiments.Fig10Point
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -99,16 +105,19 @@ func BenchmarkFig10_Scalability(b *testing.B) {
 // training-time breakdown on an 8x8 Torus (Fig. 11a), reporting each
 // model's all-reduce speedup of MULTITREE-MSG over Ring.
 func BenchmarkFig11a_TrainingNonOverlapped(b *testing.B) {
+	b.ReportAllocs()
 	benchFig11(b, false)
 }
 
 // BenchmarkFig11b_TrainingOverlapped regenerates the layer-wise
 // overlapped breakdown (Fig. 11b).
 func BenchmarkFig11b_TrainingOverlapped(b *testing.B) {
+	b.ReportAllocs()
 	benchFig11(b, true)
 }
 
 func benchFig11(b *testing.B, overlapped bool) {
+	b.ReportAllocs()
 	topo, err := topospec.Parse("torus-8x8")
 	if err != nil {
 		b.Fatal(err)
@@ -132,6 +141,7 @@ func benchFig11(b *testing.B, overlapped bool) {
 // steps, bandwidth overhead and contention of every algorithm on every
 // topology class.
 func BenchmarkTable1_AlgorithmComparison(b *testing.B) {
+	b.ReportAllocs()
 	var topos []*topology.Topology
 	for _, spec := range []string{"torus-8x8", "mesh-8x8", "fattree-16", "bigraph-32"} {
 		t, err := topospec.Parse(spec)
@@ -159,6 +169,7 @@ func BenchmarkTable1_AlgorithmComparison(b *testing.B) {
 // BenchmarkFig2_HeadFlitOverhead regenerates the packet head-flit
 // bandwidth overhead curve (6%-25% for 256 B down to 64 B payloads).
 func BenchmarkFig2_HeadFlitOverhead(b *testing.B) {
+	b.ReportAllocs()
 	var pts []experiments.Fig2Point
 	for i := 0; i < b.N; i++ {
 		pts = experiments.Fig2()
@@ -177,6 +188,7 @@ func BenchmarkFig2_HeadFlitOverhead(b *testing.B) {
 // co-design is what keeps the per-step allocation contention-free in
 // time, not just in space.
 func BenchmarkAblation_Lockstep(b *testing.B) {
+	b.ReportAllocs()
 	topo, err := topospec.Parse("bigraph-32")
 	if err != nil {
 		b.Fatal(err)
@@ -187,6 +199,7 @@ func BenchmarkAblation_Lockstep(b *testing.B) {
 	}
 	for _, lockstep := range []bool{true, false} {
 		b.Run(fmt.Sprintf("lockstep=%v", lockstep), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := network.DefaultConfig()
 			cfg.Lockstep = lockstep
 			cfg.StepPriority = lockstep
@@ -206,6 +219,7 @@ func BenchmarkAblation_Lockstep(b *testing.B) {
 // against remaining-height prioritization on an asymmetric Mesh
 // (§III-C1's note on asymmetric networks).
 func BenchmarkAblation_TreeOrder(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Mesh(4, 8, topology.DefaultLinkConfig())
 	for _, order := range []core.TreeOrder{core.RoundRobinByRoot, core.ByRemainingHeight} {
 		name := "roundRobin"
@@ -213,6 +227,7 @@ func BenchmarkAblation_TreeOrder(b *testing.B) {
 			name = "remainingHeight"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var s *collective.Schedule
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -234,6 +249,7 @@ func BenchmarkAblation_TreeOrder(b *testing.B) {
 // BenchmarkAblation_DimOrder compares Y-before-X link allocation (the
 // paper's preference) against X-before-Y on a Torus.
 func BenchmarkAblation_DimOrder(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
 	for _, reverse := range []bool{false, true} {
 		name := "Yfirst"
@@ -241,6 +257,7 @@ func BenchmarkAblation_DimOrder(b *testing.B) {
 			name = "Xfirst"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var s *collective.Schedule
 			var err error
 			for i := 0; i < b.N; i++ {
@@ -263,6 +280,7 @@ func BenchmarkAblation_DimOrder(b *testing.B) {
 // Fig. 2's 64-256 B range end to end, against the message-based flow
 // control.
 func BenchmarkAblation_PayloadSize(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
 	s, err := core.Build(topo, (4<<20)/4, core.Options{})
 	if err != nil {
@@ -270,6 +288,7 @@ func BenchmarkAblation_PayloadSize(b *testing.B) {
 	}
 	for _, payload := range []int{64, 128, 256} {
 		b.Run(fmt.Sprintf("packet-%dB", payload), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := network.DefaultConfig()
 			cfg.PayloadBytes = payload
 			var res *network.Result
@@ -283,6 +302,7 @@ func BenchmarkAblation_PayloadSize(b *testing.B) {
 		})
 	}
 	b.Run("message-based", func(b *testing.B) {
+		b.ReportAllocs()
 		var res *network.Result
 		for i := 0; i < b.N; i++ {
 			res, err = network.SimulateFluid(s, network.MessageConfig())
@@ -298,6 +318,7 @@ func BenchmarkAblation_PayloadSize(b *testing.B) {
 // fluid and packet engines; their agreement on contention-free schedules
 // is the basis for using the fluid engine in the large sweeps.
 func BenchmarkAblation_EngineFidelity(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
 	s, err := core.Build(topo, (1<<20)/4, core.Options{})
 	if err != nil {
@@ -305,6 +326,7 @@ func BenchmarkAblation_EngineFidelity(b *testing.B) {
 	}
 	for _, engine := range []experiments.Engine{experiments.Fluid, experiments.Packet} {
 		b.Run(engine.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := network.DefaultConfig()
 			var cycles float64
 			for i := 0; i < b.N; i++ {
@@ -327,12 +349,14 @@ func BenchmarkAblation_EngineFidelity(b *testing.B) {
 // BenchmarkMultiTreeConstruction measures Algorithm 1 itself across
 // system scales (its complexity bound is O(|V|^2 |E|), §III-C2).
 func BenchmarkMultiTreeConstruction(b *testing.B) {
+	b.ReportAllocs()
 	for _, n := range []int{16, 64, 256} {
 		topo, err := topospec.TorusFor(n)
 		if err != nil {
 			b.Fatal(err)
 		}
 		b.Run(fmt.Sprintf("torus-%dn", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.BuildTrees(topo, core.Options{}); err != nil {
 					b.Fatal(err)
@@ -345,6 +369,7 @@ func BenchmarkMultiTreeConstruction(b *testing.B) {
 // BenchmarkScheduleExecution measures the correctness interpreter, the
 // hot path of the property-based tests.
 func BenchmarkScheduleExecution(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
 	s, err := core.Build(topo, 1<<14, core.Options{})
 	if err != nil {
@@ -362,6 +387,7 @@ func BenchmarkScheduleExecution(b *testing.B) {
 // BenchmarkCollective_AllToAll measures the DLRM-style all-to-all of
 // §VII-B built on the all-gather trees.
 func BenchmarkCollective_AllToAll(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
 	s, err := core.BuildAllToAll(topo, (1<<20)/4/16, core.Options{})
 	if err != nil {
@@ -380,6 +406,7 @@ func BenchmarkCollective_AllToAll(b *testing.B) {
 // BenchmarkAblation_Energy prices the flow-control co-design: the same
 // MultiTree schedule under packet-based vs message-based flow control.
 func BenchmarkAblation_Energy(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
 	s, err := core.Build(topo, (16<<20)/4, core.Options{})
 	if err != nil {
@@ -392,6 +419,7 @@ func BenchmarkAblation_Energy(b *testing.B) {
 			name = "message-based"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var e network.EnergyBreakdown
 			for i := 0; i < b.N; i++ {
 				e, err = network.EstimateEnergy(s, cfg, m)
@@ -411,9 +439,11 @@ func BenchmarkAblation_Energy(b *testing.B) {
 // beats the oracle at every size because it is simultaneously low-latency
 // and bandwidth-optimal.
 func BenchmarkAblation_NCCLThreshold(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
 	for _, bytes := range []int64{32 << 10, 1 << 20, 16 << 20} {
 		b.Run(fmt.Sprintf("%dKiB", bytes>>10), func(b *testing.B) {
+			b.ReportAllocs()
 			var oracle, mtree float64
 			for i := 0; i < b.N; i++ {
 				r, err := experiments.MeasureAllReduce(topo, experiments.AlgSpec{Name: "ring"}, bytes, experiments.Fluid)
@@ -444,6 +474,7 @@ func BenchmarkAblation_NCCLThreshold(b *testing.B) {
 // torus grows, because every algorithm stays contention-free and
 // serialization dominates.
 func BenchmarkStrongScaling(b *testing.B) {
+	b.ReportAllocs()
 	var points []experiments.Fig10Point
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -461,12 +492,14 @@ func BenchmarkStrongScaling(b *testing.B) {
 // ResNet50's forward pass (the paper fixes output stationary; this shows
 // the choice's cost).
 func BenchmarkAblation_Dataflow(b *testing.B) {
+	b.ReportAllocs()
 	net, err := model.ByName("ResNet50")
 	if err != nil {
 		b.Fatal(err)
 	}
 	for _, d := range []accel.Dataflow{accel.OutputStationary, accel.WeightStationary, accel.InputStationary} {
 		b.Run(d.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			a := accel.Default()
 			a.Dataflow = d
 			var cyc int64
@@ -481,9 +514,11 @@ func BenchmarkAblation_Dataflow(b *testing.B) {
 // BenchmarkAblation_GradientFusion sweeps the Horovod-style fusion
 // threshold extension over the overlapped Transformer iteration.
 func BenchmarkAblation_GradientFusion(b *testing.B) {
+	b.ReportAllocs()
 	topo := topology.Torus(8, 8, topology.DefaultLinkConfig())
 	for _, fusion := range []int64{0, 1 << 20, 16 << 20} {
 		b.Run(fmt.Sprintf("fusion-%dMiB", fusion>>20), func(b *testing.B) {
+			b.ReportAllocs()
 			cfg := training.Config{
 				Topo:         topo,
 				Accel:        accel.Default(),
@@ -516,6 +551,7 @@ func BenchmarkAblation_GradientFusion(b *testing.B) {
 // allocation (the default on switch-based networks), which reaches the
 // per-phase step lower bound.
 func BenchmarkAblation_TreeAdjustment(b *testing.B) {
+	b.ReportAllocs()
 	topo, err := topospec.Parse("bigraph-32")
 	if err != nil {
 		b.Fatal(err)
@@ -526,6 +562,7 @@ func BenchmarkAblation_TreeAdjustment(b *testing.B) {
 			name = "shortestPath"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var s *collective.Schedule
 			for i := 0; i < b.N; i++ {
 				s, err = core.Build(topo, (4<<20)/4, core.Options{ShortestPathFirst: shortest})
@@ -551,6 +588,7 @@ func BenchmarkAblation_TreeAdjustment(b *testing.B) {
 // engine (the emit sites reduce to a nil check), and the sub-benchmark
 // deltas price each collector.
 func BenchmarkTraceOverhead(b *testing.B) {
+	b.ReportAllocs()
 	topo, err := topospec.Parse("torus-4x4")
 	if err != nil {
 		b.Fatal(err)
@@ -569,16 +607,19 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		return res
 	}
 	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			run(b, nil)
 		}
 	})
 	b.Run("metrics", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			run(b, obs.NewMetrics(1000))
 		}
 	})
 	b.Run("recorder", func(b *testing.B) {
+		b.ReportAllocs()
 		rec := &obs.Recorder{}
 		for i := 0; i < b.N; i++ {
 			rec.Reset()
@@ -587,6 +628,7 @@ func BenchmarkTraceOverhead(b *testing.B) {
 		b.ReportMetric(float64(len(rec.Events)), "events")
 	})
 	b.Run("chrometrace", func(b *testing.B) {
+		b.ReportAllocs()
 		rec := &obs.Recorder{}
 		meta := network.TraceMetaFor(s, "")
 		for i := 0; i < b.N; i++ {
@@ -597,4 +639,50 @@ func BenchmarkTraceOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPacketEngineSteadyState is the zero-allocation guard for the
+// discrete-event hot path: a reusable PacketSim re-simulates a 16 MiB
+// MultiTree all-reduce on an 8x8 Torus, reusing its event heap, packet
+// arena and link ring deques across runs. The benchmark fails outright if
+// the steady-state event loop allocates, so an accidental closure or
+// slice regrowth in the engine cannot land silently.
+func BenchmarkPacketEngineSteadyState(b *testing.B) {
+	topo, err := topospec.Parse("torus-8x8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Build(topo, (16<<20)/4, core.DefaultOptions(topo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := network.NewPacketSim(s, network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := sim.Run() // grow every backing array to its high-water mark
+	if err != nil {
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1, func() {
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state event loop allocates %.1f per run, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *network.Result
+	for i := 0; i < b.N; i++ {
+		res, err = sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Cycles != warm.Cycles {
+		b.Fatalf("steady-state run finished in %d cycles, warm-up in %d", res.Cycles, warm.Cycles)
+	}
+	b.ReportMetric(float64(res.Cycles), "simCycles")
+	b.ReportMetric(res.BandwidthBytesPerCycle(16<<20), "GB/s")
 }

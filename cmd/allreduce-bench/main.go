@@ -14,6 +14,13 @@
 //	allreduce-bench -table1            # measured Table I
 //	allreduce-bench -fig 9a -max 64MiB # full-size sweep (slower)
 //	allreduce-bench -fig 9a -engine fluid
+//	allreduce-bench -fig 9a -workers 1 # sequential sweep (default GOMAXPROCS)
+//
+// Fig. 9 sweeps run on a GOMAXPROCS-wide worker pool by default
+// (simulations of different points are independent); -workers 1 restores
+// the sequential path. In -json mode every point carries wall_ns, the
+// host wall-clock nanoseconds spent building and simulating that point,
+// so sweep runs double as simulator-throughput measurements.
 //
 // Single-run observability mode: -algo selects one algorithm on one
 // topology and exports what the simulation did.
@@ -64,12 +71,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("allreduce-bench: ")
 	var (
-		fig      = flag.String("fig", "", "figure to regenerate: 2, 9a, 9b, 9c, 9d, 10")
-		table1   = flag.Bool("table1", false, "emit the measured Table I comparison")
-		maxSz    = flag.String("max", "8MiB", "largest all-reduce size for Fig. 9 (the paper uses 64MiB)")
-		engine   = flag.String("engine", "", "simulation engine: packet (default for Fig. 9) or fluid")
-		topos    = flag.String("topos", "", "comma-separated topology overrides, e.g. torus-4x4,mesh-8x8")
-		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent simulations for Fig. 9 sweeps")
+		fig     = flag.String("fig", "", "figure to regenerate: 2, 9a, 9b, 9c, 9d, 10")
+		table1  = flag.Bool("table1", false, "emit the measured Table I comparison")
+		maxSz   = flag.String("max", "8MiB", "largest all-reduce size for Fig. 9 (the paper uses 64MiB)")
+		engine  = flag.String("engine", "", "simulation engine: packet (default for Fig. 9) or fluid")
+		topos   = flag.String("topos", "", "comma-separated topology overrides, e.g. torus-4x4,mesh-8x8")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size for Fig. 9 sweeps; 1 runs the sweep sequentially")
 
 		algo      = flag.String("algo", "", "single-run mode: algorithm ("+strings.Join(algorithms.Names(), ", ")+"; append -msg for message-based flow control)")
 		topo      = flag.String("topo", "torus-4x4", "single-run mode: topology spec ("+topospec.Usage()+")")
@@ -97,7 +104,7 @@ func main() {
 			fmt.Printf("%d,%.4f\n", p.PayloadBytes, p.Overhead)
 		}
 	case strings.HasPrefix(*fig, "9"):
-		runFig9(*fig, *topos, *maxSz, *engine, *parallel, *jsonOut)
+		runFig9(*fig, *topos, *maxSz, *engine, *workers, *jsonOut)
 	case *fig == "10":
 		runFig10()
 	default:
@@ -309,7 +316,7 @@ func normalizeTopoSpec(spec string) string {
 	return spec
 }
 
-func runFig9(fig, topoOverride, maxSz, engineName string, parallel int, jsonOut bool) {
+func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut bool) {
 	specs := map[string][]string{
 		"9a": {"torus-4x4", "torus-8x8"},
 		"9b": {"mesh-4x4", "mesh-8x8"},
@@ -343,7 +350,7 @@ func runFig9(fig, topoOverride, maxSz, engineName string, parallel int, jsonOut 
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := experiments.Fig9Parallel(topo, experiments.Fig9Sizes(maxBytes), engine, parallel)
+		points, err := experiments.Fig9Parallel(topo, experiments.Fig9Sizes(maxBytes), engine, workers)
 		if err != nil {
 			log.Fatal(err)
 		}

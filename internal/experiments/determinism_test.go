@@ -1,0 +1,90 @@
+package experiments
+
+// Determinism guard for the discrete-event core: the same schedule run
+// twice through each engine must produce byte-identical traced event
+// streams. This pins the (At, seq) tie-break through the heap rewrite —
+// any nondeterminism in event ordering (map iteration, heap layout
+// dependence, pooled-state leakage between runs) shows up as a diverging
+// stream long before it corrupts a Result.
+
+import (
+	"bytes"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/network"
+	"multitree/internal/obs"
+	"multitree/internal/topospec"
+)
+
+func TestEngineDeterminism(t *testing.T) {
+	const elems = (256 << 10) / collective.WordSize
+	for _, spec := range []string{"torus-4x4", "bigraph-32"} {
+		topo, err := topospec.Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []string{"ring", "multitree"} {
+			s, err := BuildSchedule(topo, alg, elems)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, eng := range []Engine{Fluid, Packet} {
+				t.Run(spec+"/"+alg+"/"+eng.String(), func(t *testing.T) {
+					run := func() []byte {
+						rec := &obs.Recorder{}
+						cfg := network.DefaultConfig()
+						cfg.Tracer = rec
+						if _, err := eng.run(s, cfg); err != nil {
+							t.Fatal(err)
+						}
+						return eventStreamBytes(rec.Events)
+					}
+					first := run()
+					second := run()
+					if !bytes.Equal(first, second) {
+						t.Fatalf("two runs produced different event streams (%d vs %d bytes)",
+							len(first), len(second))
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPacketSimReuseDeterminism: the reusable PacketSim must replay the
+// identical event stream on every Run, since reset restores all pooled
+// state (event heap sequence numbers, packet arena, ring deques).
+func TestPacketSimReuseDeterminism(t *testing.T) {
+	topo, err := topospec.Parse("torus-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchedule(topo, "multitree", (256<<10)/collective.WordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &obs.Recorder{}
+	cfg := network.DefaultConfig()
+	cfg.Tracer = rec
+	sim, err := network.NewPacketSim(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for run := 0; run < 3; run++ {
+		rec.Reset()
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		stream := eventStreamBytes(rec.Events)
+		if run == 0 {
+			first = append(first, stream...)
+			continue
+		}
+		if !bytes.Equal(first, stream) {
+			t.Fatalf("run %d diverged from the first run (%d vs %d bytes)",
+				run, len(stream), len(first))
+		}
+	}
+}

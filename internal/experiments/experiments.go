@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"multitree/internal/algorithms"
 	_ "multitree/internal/algorithms/all" // register the built-in algorithms
@@ -85,10 +86,16 @@ type AllReducePoint struct {
 	// BandwidthGBps is data size / time, the §VI-A metric (1 B/cycle =
 	// 1 GB/s at the 1 GHz router clock).
 	BandwidthGBps float64 `json:"bandwidth_gbps"`
+
+	// WallNanos is the host wall-clock time spent producing this point
+	// (schedule construction plus simulation) — the simulator-throughput
+	// number the benchmark-regression harness tracks.
+	WallNanos int64 `json:"wall_ns,omitempty"`
 }
 
 // MeasureAllReduce simulates one (topology, algorithm, size) point.
 func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine) (AllReducePoint, error) {
+	start := time.Now()
 	elems := int(dataBytes / collective.WordSize)
 	s, err := BuildSchedule(topo, alg.Name, elems)
 	if err != nil {
@@ -106,6 +113,7 @@ func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, eng
 		DataBytes:     dataBytes,
 		Cycles:        uint64(res.Cycles),
 		BandwidthGBps: res.BandwidthBytesPerCycle(dataBytes),
+		WallNanos:     time.Since(start).Nanoseconds(),
 	}, nil
 }
 

@@ -20,33 +20,117 @@ import (
 // the reference engine in cross-validation tests and the fidelity
 // ablation bench.
 func SimulatePackets(s *collective.Schedule, cfg Config) (*Result, error) {
+	ps, err := NewPacketSim(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ps.Run()
+}
+
+// Typed event kinds dispatched by the engine's fast path. The int32
+// arguments carry a transfer id, packet arena index, node id or link id;
+// no closures are allocated on the hot path.
+const (
+	evRelease   sim.Kind = iota + 1 // a: transfer id
+	evSerDone                       // a: packet index, b: link id
+	evArrive                        // a: packet index
+	evEnterStep                     // a: node id
+	evDelivered                     // a: transfer id
+)
+
+// packet is one on-wire unit of a transfer. Packets live in the
+// simulation's arena and are identified by their index; next threads the
+// arena's free list.
+type packet struct {
+	transfer int32
+	next     int32 // free-list link; -1 terminates
+	hop      int32 // index of the link the packet crosses next
+	wire     int64 // bytes on the wire including its head-flit share
+	path     []topology.LinkID
+}
+
+// pktRing is a FIFO deque of packet arena indices backed by a reusable
+// ring buffer: popping the head advances an offset instead of reslicing,
+// so the backing array is never abandoned and its capacity is bounded by
+// the link's peak queue depth, not the total packets that ever crossed it.
+type pktRing struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (r *pktRing) len() int     { return r.n }
+func (r *pktRing) front() int32 { return r.buf[r.head] }
+
+func (r *pktRing) push(v int32) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+func (r *pktRing) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// grow doubles the power-of-two backing array, unrolling the ring.
+func (r *pktRing) grow() {
+	size := len(r.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	buf := make([]int32, size)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}
+
+func (r *pktRing) reset() { r.head, r.n = 0, 0 }
+
+// PacketSim is a reusable packet-level simulator for one schedule and
+// configuration. Run may be called repeatedly: every run resets the
+// mutable state but keeps all backing storage (event heap, packet arena,
+// link rings), so steady-state re-simulation performs zero heap
+// allocations (see TestPacketEngineSteadyStateAllocs). Runs are
+// deterministic and cycle-identical to each other and to SimulatePackets.
+type PacketSim struct {
+	ps packetSim
+}
+
+// NewPacketSim validates the configuration and builds the immutable
+// schedule-derived state (dependency graph, per-transfer paths, lockstep
+// step lists, byte totals).
+func NewPacketSim(s *collective.Schedule, cfg Config) (*PacketSim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	res := &Result{
-		TransferDone: make([]sim.Time, len(s.Transfers)),
-		LinkBusy:     make([]sim.Time, len(s.Topo.Links())),
-	}
-	if len(s.Transfers) == 0 {
-		return res, nil
-	}
-	ps := newPacketSim(s, cfg, res)
-	ps.seed()
-	ps.eng.Run()
-	if ps.done != len(s.Transfers) {
-		return nil, fmt.Errorf("network: packet simulation stalled with %d/%d transfers done (%s on %s)",
-			ps.done, len(s.Transfers), s.Algorithm, s.Topo.Name())
-	}
-	res.Cycles = ps.eng.Now()
-	return res, nil
+	p := &PacketSim{}
+	p.ps.init(s, cfg)
+	return p, nil
 }
 
-// packet is one on-wire unit of a transfer.
-type packet struct {
-	transfer int32
-	wire     int64 // bytes on the wire including its head-flit share
-	path     []topology.LinkID
-	hop      int // index of the link the packet crosses next
+// Run simulates the schedule and returns the result. The returned Result
+// is owned by the simulator and overwritten by the next Run; callers that
+// keep results across runs must copy them.
+func (p *PacketSim) Run() (*Result, error) {
+	ps := &p.ps
+	ps.reset()
+	if len(ps.s.Transfers) == 0 {
+		return ps.res, nil
+	}
+	ps.seed()
+	ps.eng.Run()
+	if ps.done != len(ps.s.Transfers) {
+		return nil, fmt.Errorf("network: packet simulation stalled with %d/%d transfers done (%s on %s)",
+			ps.done, len(ps.s.Transfers), ps.s.Algorithm, ps.s.Topo.Name())
+	}
+	ps.res.Cycles = ps.eng.Now()
+	return ps.res, nil
 }
 
 type packetSim struct {
@@ -58,16 +142,27 @@ type packetSim struct {
 
 	depsLeft []int
 	succ     [][]int32
-	pktsLeft []int // packets not yet delivered, per transfer
-	toInject []int // packets not yet across the first link, per transfer
+	paths    [][]topology.LinkID // per transfer, resolved once
+	pktsLeft []int               // packets not yet delivered, per transfer
+	toInject []int               // packets not yet across the first link, per transfer
 	done     int
 
+	// payloadTotal/wireTotal are computed once and restored on reset.
+	payloadTotal int64
+	wireTotal    int64
+
+	// pkts is the packet arena; freeHead threads recycled slots. The arena
+	// grows to the peak in-flight packet count and is then reused.
+	pkts     []packet
+	freeHead int32
+
 	linkBusy  []bool
-	linkQueue [][]*packet
+	linkQueue []pktRing
 	// bufFree[l] is the remaining input-buffer space at link l's
 	// downstream router. Only link l feeds that buffer, so when space
 	// frees we simply retry link l.
 	bufFree []int64
+	bufCap  int64
 
 	// Lockstep state (same semantics as the fluid engine).
 	lockstep bool
@@ -75,6 +170,7 @@ type packetSim struct {
 	clocks   []pktNodeClock
 	sends    [][]int32
 	waiting  [][]int32 // per node: dep-satisfied transfers parked for their step
+	scratch  []int32   // reused by enterStep to drain waiting without aliasing
 }
 
 type pktNodeClock struct {
@@ -85,25 +181,28 @@ type pktNodeClock struct {
 	injEnd  sim.Time
 }
 
-func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
+// init builds the immutable schedule-derived state. Mutable state is set
+// by reset before every run.
+func (ps *packetSim) init(s *collective.Schedule, cfg Config) {
 	n := len(s.Transfers)
 	nl := len(s.Topo.Links())
-	ps := &packetSim{
-		s: s, cfg: cfg, res: res, tr: cfg.Tracer,
-		depsLeft:  make([]int, n),
-		succ:      make([][]int32, n),
-		pktsLeft:  make([]int, n),
-		toInject:  make([]int, n),
-		linkBusy:  make([]bool, nl),
-		linkQueue: make([][]*packet, nl),
-		bufFree:   make([]int64, nl),
-		lockstep:  cfg.Lockstep,
+	ps.s, ps.cfg, ps.tr = s, cfg, cfg.Tracer
+	ps.res = &Result{
+		TransferDone: make([]sim.Time, n),
+		LinkBusy:     make([]sim.Time, nl),
 	}
+	ps.depsLeft = make([]int, n)
+	ps.succ = make([][]int32, n)
+	ps.paths = make([][]topology.LinkID, n)
+	ps.pktsLeft = make([]int, n)
+	ps.toInject = make([]int, n)
+	ps.linkBusy = make([]bool, nl)
+	ps.linkQueue = make([]pktRing, nl)
+	ps.bufFree = make([]int64, nl)
+	ps.lockstep = cfg.Lockstep
 	ps.eng.Trace = cfg.Tracer
-	bufCap := int64(cfg.VCs) * int64(cfg.VCDepthFlits) * int64(cfg.FlitBytes)
-	for l := range ps.bufFree {
-		ps.bufFree[l] = bufCap
-	}
+	ps.eng.Dispatch = ps.dispatch
+	ps.bufCap = int64(cfg.VCs) * int64(cfg.VCDepthFlits) * int64(cfg.FlitBytes)
 	maxWire, minBW := int64(0), math.Inf(1)
 	for _, l := range s.Topo.Links() {
 		if l.Bandwidth < minBW {
@@ -112,16 +211,16 @@ func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
 	}
 	for i := range s.Transfers {
 		t := &s.Transfers[i]
-		ps.depsLeft[i] = len(t.Deps)
 		for _, d := range t.Deps {
 			ps.succ[d] = append(ps.succ[d], int32(i))
 		}
+		ps.paths[i] = s.PathOf(t)
 		w := cfg.WireBytes(s.Bytes(t))
 		if w > maxWire {
 			maxWire = w
 		}
-		res.PayloadBytes += s.Bytes(t)
-		res.WireBytes += w
+		ps.payloadTotal += s.Bytes(t)
+		ps.wireTotal += w
 	}
 	ps.estStep = sim.Time(math.Ceil(float64(maxWire) / minBW))
 
@@ -148,7 +247,73 @@ func newPacketSim(s *collective.Schedule, cfg Config, res *Result) *packetSim {
 			}
 		}
 	}
-	return ps
+}
+
+// reset restores the mutable state for a fresh deterministic run while
+// keeping every backing array.
+func (ps *packetSim) reset() {
+	s := ps.s
+	ps.eng.Reset()
+	ps.res.Cycles = 0
+	ps.res.PayloadBytes = ps.payloadTotal
+	ps.res.WireBytes = ps.wireTotal
+	for i := range s.Transfers {
+		ps.depsLeft[i] = len(s.Transfers[i].Deps)
+		ps.pktsLeft[i] = 0
+		ps.toInject[i] = 0
+		ps.res.TransferDone[i] = 0
+	}
+	for l := range ps.bufFree {
+		ps.bufFree[l] = ps.bufCap
+		ps.linkBusy[l] = false
+		ps.linkQueue[l].reset()
+		ps.res.LinkBusy[l] = 0
+	}
+	ps.pkts = ps.pkts[:0]
+	ps.freeHead = -1
+	ps.done = 0
+	for i := range ps.clocks {
+		c := &ps.clocks[i]
+		c.idx, c.entered, c.pending, c.injEnd = 0, false, 0, 0
+		ps.waiting[i] = ps.waiting[i][:0]
+	}
+}
+
+// dispatch is the engine's typed fast path: one switch instead of one
+// heap-allocated closure per event.
+func (ps *packetSim) dispatch(kind sim.Kind, a, b int32) {
+	switch kind {
+	case evRelease:
+		ps.release(a)
+	case evSerDone:
+		ps.serDone(a, topology.LinkID(b))
+	case evArrive:
+		ps.arrive(a)
+	case evEnterStep:
+		ps.enterStep(int(a))
+	case evDelivered:
+		ps.delivered(a)
+	}
+}
+
+// allocPacket takes a slot from the free list or grows the arena.
+func (ps *packetSim) allocPacket(transfer int32, wire int64, path []topology.LinkID) int32 {
+	if i := ps.freeHead; i >= 0 {
+		p := &ps.pkts[i]
+		ps.freeHead = p.next
+		p.transfer, p.next, p.hop, p.wire, p.path = transfer, -1, 0, wire, path
+		return i
+	}
+	ps.pkts = append(ps.pkts, packet{transfer: transfer, next: -1, wire: wire, path: path})
+	return int32(len(ps.pkts) - 1)
+}
+
+// freePacket returns a delivered packet's slot to the free list.
+func (ps *packetSim) freePacket(i int32) {
+	p := &ps.pkts[i]
+	p.path = nil
+	p.next = ps.freeHead
+	ps.freeHead = i
 }
 
 // seed enters every sending node's first step and releases dependency-free
@@ -162,8 +327,7 @@ func (ps *packetSim) seed() {
 			}
 			// Leading NOPs stall like any other gap (§IV-A).
 			if gap := sim.Time(c.steps[0]-1) * ps.estStep; gap > 0 {
-				n := node
-				ps.eng.Schedule(gap, func() { ps.enterStep(n) })
+				ps.eng.ScheduleKind(gap, evEnterStep, int32(node), 0)
 			} else {
 				ps.enterStep(node)
 			}
@@ -171,8 +335,7 @@ func (ps *packetSim) seed() {
 	}
 	for i := range ps.depsLeft {
 		if ps.depsLeft[i] == 0 {
-			id := int32(i)
-			ps.eng.Schedule(0, func() { ps.release(id) })
+			ps.eng.ScheduleKind(0, evRelease, int32(i), 0)
 		}
 	}
 }
@@ -198,59 +361,50 @@ func (ps *packetSim) release(id int32) {
 }
 
 // inject packetizes a transfer and enqueues its packets on the first link
-// of its path.
+// of its path. Per-packet wire sizes are computed arithmetically — all
+// packets carry a full payload except the last, and head-flit overhead
+// falls on every packet (packet-based) or only the first (message-based)
+// — so no per-transfer size slice is built.
 func (ps *packetSim) inject(id int32) {
 	t := &ps.s.Transfers[id]
-	path := ps.s.PathOf(t)
-	pkts := ps.packetize(ps.s.Bytes(t))
+	path := ps.paths[id]
+	payload := ps.s.Bytes(t)
+	flit := int64(ps.cfg.FlitBytes)
+	var nPkts int64
+	if payload > 0 {
+		nPkts = (payload + int64(ps.cfg.PayloadBytes) - 1) / int64(ps.cfg.PayloadBytes)
+	}
 	if ps.tr != nil {
 		ps.tr.Emit(obs.Event{
 			Kind: obs.EvTransferInjected, At: float64(ps.eng.Now()), Transfer: id,
 			Node: int32(t.Src), Flow: int32(t.Flow), Step: int32(t.Step),
-			Bytes: ps.cfg.WireBytes(ps.s.Bytes(t)),
+			Bytes: ps.cfg.WireBytes(payload),
 		})
 	}
-	ps.pktsLeft[id] = len(pkts)
-	ps.toInject[id] = len(pkts)
-	if len(pkts) == 0 {
-		ps.eng.After(ps.s.Topo.PathLatency(path), func() { ps.delivered(id) })
+	ps.pktsLeft[id] = int(nPkts)
+	ps.toInject[id] = int(nPkts)
+	if nPkts == 0 {
+		ps.eng.AfterKind(ps.s.Topo.PathLatency(path), evDelivered, id, 0)
 		ps.injectionDone(int(t.Src))
 		return
 	}
+	// All packets but the last carry a full payload; PayloadBytes is a
+	// whole number of flits (validated), so only the remainder rounds up.
+	fullWire := int64(ps.cfg.PayloadBytes)
+	lastChunk := payload - (nPkts-1)*int64(ps.cfg.PayloadBytes)
+	lastWire := (lastChunk + flit - 1) / flit * flit
 	first := path[0]
-	for _, w := range pkts {
-		ps.linkQueue[first] = append(ps.linkQueue[first], &packet{
-			transfer: id, wire: w, path: path,
-		})
-	}
-	ps.tryTransmit(first)
-}
-
-// packetize splits a payload into per-packet wire sizes (Fig. 7): under
-// packet-based flow control every packet carries a head flit; under
-// message-based flow control only the first sub-packet does.
-func (ps *packetSim) packetize(payload int64) []int64 {
-	if payload <= 0 {
-		return nil
-	}
-	flit := int64(ps.cfg.FlitBytes)
-	var out []int64
-	rem := payload
-	first := true
-	for rem > 0 {
-		chunk := int64(ps.cfg.PayloadBytes)
-		if rem < chunk {
-			chunk = rem
+	for i := int64(0); i < nPkts; i++ {
+		wire := fullWire
+		if i == nPkts-1 {
+			wire = lastWire
 		}
-		rem -= chunk
-		wire := (chunk + flit - 1) / flit * flit
-		if !ps.cfg.MessageBased || first {
+		if !ps.cfg.MessageBased || i == 0 {
 			wire += flit
 		}
-		out = append(out, wire)
-		first = false
+		ps.linkQueue[first].push(ps.allocPacket(id, wire, path))
 	}
-	return out
+	ps.tryTransmit(first)
 }
 
 // tryTransmit starts serving the head packet of a link's queue if the link
@@ -258,11 +412,12 @@ func (ps *packetSim) packetize(payload int64) []int64 {
 // serialization completes, so a blocked link retries whenever its buffer
 // frees or a new packet arrives.
 func (ps *packetSim) tryTransmit(l topology.LinkID) {
-	if ps.linkBusy[l] || len(ps.linkQueue[l]) == 0 {
+	if ps.linkBusy[l] || ps.linkQueue[l].len() == 0 {
 		return
 	}
-	p := ps.linkQueue[l][0]
-	lastHop := p.hop == len(p.path)-1
+	pi := ps.linkQueue[l].front()
+	p := &ps.pkts[pi]
+	lastHop := int(p.hop) == len(p.path)-1
 	if !lastHop && ps.bufFree[l] < p.wire {
 		if ps.tr != nil {
 			ps.tr.Emit(obs.Event{
@@ -272,7 +427,7 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 		}
 		return // backpressured; retried when the buffer frees
 	}
-	ps.linkQueue[l] = ps.linkQueue[l][1:]
+	ps.linkQueue[l].pop()
 	if !lastHop {
 		ps.bufFree[l] -= p.wire
 	}
@@ -296,34 +451,44 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 			Flow: int32(t.Flow), Step: int32(t.Step), Bytes: p.wire,
 		})
 	}
-	firstHop := p.hop == 0
-	ps.eng.After(ser, func() {
-		ps.linkBusy[l] = false
-		if firstHop {
-			ps.toInject[p.transfer]--
-			if ps.toInject[p.transfer] == 0 {
-				ps.injectionDone(int(ps.s.Transfers[p.transfer].Src))
-			}
+	ps.eng.AfterKind(ser, evSerDone, pi, int32(l))
+}
+
+// serDone handles a packet's last byte leaving link l: the link frees,
+// first-hop departures advance the sender's lockstep clock, and the
+// packet arrives downstream one propagation delay later. The packet's hop
+// index is unchanged until arrive, so first/last-hop are derived here
+// exactly as the serialization closure captured them before the rewrite.
+func (ps *packetSim) serDone(pi int32, l topology.LinkID) {
+	p := &ps.pkts[pi]
+	ps.linkBusy[l] = false
+	if p.hop == 0 {
+		ps.toInject[p.transfer]--
+		if ps.toInject[p.transfer] == 0 {
+			ps.injectionDone(int(ps.s.Transfers[p.transfer].Src))
 		}
-		ps.tryTransmit(l)
-		ps.eng.After(link.Latency, func() { ps.arrive(p, lastHop) })
-	})
+	}
+	ps.tryTransmit(l)
+	ps.eng.AfterKind(ps.s.Topo.Link(l).Latency, evArrive, pi, 0)
 }
 
 // arrive handles a packet reaching the downstream end of its current link.
-func (ps *packetSim) arrive(p *packet, lastHop bool) {
-	if lastHop {
+func (ps *packetSim) arrive(pi int32) {
+	p := &ps.pkts[pi]
+	if int(p.hop) == len(p.path)-1 {
 		// Eject into the destination NI; router buffer space was never
 		// charged for the final hop.
-		ps.pktsLeft[p.transfer]--
-		if ps.pktsLeft[p.transfer] == 0 {
-			ps.delivered(p.transfer)
+		tr := p.transfer
+		ps.freePacket(pi)
+		ps.pktsLeft[tr]--
+		if ps.pktsLeft[tr] == 0 {
+			ps.delivered(tr)
 		}
 		return
 	}
 	p.hop++
 	next := p.path[p.hop]
-	ps.linkQueue[next] = append(ps.linkQueue[next], p)
+	ps.linkQueue[next].push(pi)
 	ps.tryTransmit(next)
 }
 
@@ -347,7 +512,9 @@ func (ps *packetSim) delivered(id int32) {
 }
 
 // enterStep opens a node's lockstep gate for its current step and releases
-// parked transfers.
+// parked transfers. The parked list is drained through a reused scratch
+// buffer so releases that re-park (for a later step) append to the
+// waiting slice without aliasing the iteration.
 func (ps *packetSim) enterStep(node int) {
 	c := &ps.clocks[node]
 	c.entered = true
@@ -365,9 +532,9 @@ func (ps *packetSim) enterStep(node int) {
 			c.pending++
 		}
 	}
-	parked := ps.waiting[node]
-	ps.waiting[node] = nil
-	for _, id := range parked {
+	ps.scratch = append(ps.scratch[:0], ps.waiting[node]...)
+	ps.waiting[node] = ps.waiting[node][:0]
+	for _, id := range ps.scratch {
 		ps.release(id)
 	}
 }
@@ -393,5 +560,5 @@ func (ps *packetSim) injectionDone(node int) {
 	}
 	gap := sim.Time(c.steps[c.idx]-prev-1) * ps.estStep
 	c.entered = false
-	ps.eng.Schedule(c.injEnd+gap, func() { ps.enterStep(node) })
+	ps.eng.ScheduleKind(c.injEnd+gap, evEnterStep, int32(node), 0)
 }

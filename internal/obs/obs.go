@@ -9,8 +9,11 @@
 // simulators is guarded by a nil check on the Tracer interface, so a run
 // with no tracer attached pays one predictable branch per event and zero
 // allocations (see TestNoOpEmitZeroAlloc and BenchmarkTraceOverhead).
-// Events are small value structs; recording them appends to a slice with
-// no per-event boxing.
+// Events are small value structs reused at the emit sites — the engines
+// build each Event on the stack and pass it by value, so neither emitting
+// nor folding into Metrics boxes anything, and a Recorder whose slice has
+// reached its high-water mark (Reset keeps capacity) records steadily
+// with no per-event allocation either.
 //
 // Two simulation time domains flow through the same stream. Engine events
 // carry cycle timestamps of the router clock (1 cycle = 1 ns at 1 GHz).

@@ -2,34 +2,54 @@
 // the network simulators. Time is measured in integer cycles of the router
 // clock (1 GHz in the paper's configuration, so one cycle is one
 // nanosecond).
+//
+// The engine is built for an allocation-free steady state: the event queue
+// is a value-based 4-ary min-heap of small typed records ordered by
+// (At, seq), so scheduling allocates nothing once the heap's backing array
+// has grown to the simulation's high-water mark. Hot paths schedule typed
+// events (a Kind plus two int32 arguments) that the engine hands to a
+// single Dispatch function, avoiding both closure allocation and
+// interface boxing; the closure-based Schedule/After API remains as a
+// compatibility shim for cold paths and tests.
 package sim
 
 import (
-	"container/heap"
-
 	"multitree/internal/obs"
 )
 
 // Time is a simulation timestamp in clock cycles.
 type Time uint64
 
-// Event is a callback scheduled to run at a particular simulation time.
-type Event struct {
-	At Time
-	Fn func()
+// Kind identifies a typed event for the dispatch fast path. Kind values
+// are defined by the engine's user; kindClosure (0) is reserved for
+// events scheduled through the closure shim.
+type Kind uint8
 
-	// seq breaks ties so that events scheduled earlier at the same cycle
-	// run first, keeping runs deterministic.
-	seq uint64
-	idx int
+const kindClosure Kind = 0
+
+// event is one queued record. Typed events carry (kind, a, b) and a nil
+// fn; closure events carry fn with kind == kindClosure. seq breaks ties
+// so that events scheduled earlier at the same cycle run first, keeping
+// runs deterministic regardless of heap shape.
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	kind Kind
+	a, b int32
 }
 
-// Engine is a discrete-event simulator driven by a binary-heap event queue.
-// The zero value is ready to use.
+// Engine is a discrete-event simulator driven by a 4-ary min-heap event
+// queue. The zero value is ready to use.
 type Engine struct {
 	now    Time
-	queue  eventQueue
 	nextID uint64
+	heap   []event
+
+	// Dispatch receives typed events scheduled with ScheduleKind/AfterKind.
+	// It must be set before the first typed event fires; closure-only users
+	// can leave it nil.
+	Dispatch func(kind Kind, a, b int32)
 
 	// Trace, when non-nil, receives an EvEngineQueue sample (pending-event
 	// count) after every executed event. The nil default costs one branch
@@ -47,9 +67,8 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	if at < e.now {
 		at = e.now
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.nextID}
+	e.push(event{at: at, seq: e.nextID, fn: fn})
 	e.nextID++
-	heap.Push(&e.queue, ev)
 }
 
 // After enqueues fn to run delay cycles from now.
@@ -57,21 +76,55 @@ func (e *Engine) After(delay Time, fn func()) {
 	e.Schedule(e.now+delay, fn)
 }
 
+// ScheduleKind enqueues a typed event for Dispatch at absolute time at,
+// with the same past-clamping as Schedule. It allocates nothing once the
+// heap's backing array has reached the run's high-water mark.
+func (e *Engine) ScheduleKind(at Time, kind Kind, a, b int32) {
+	if at < e.now {
+		at = e.now
+	}
+	e.push(event{at: at, seq: e.nextID, kind: kind, a: a, b: b})
+	e.nextID++
+}
+
+// AfterKind enqueues a typed event delay cycles from now.
+func (e *Engine) AfterKind(delay Time, kind Kind, a, b int32) {
+	e.ScheduleKind(e.now+delay, kind, a, b)
+}
+
 // Pending reports the number of events waiting to run.
-func (e *Engine) Pending() int { return e.queue.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Reset returns the engine to time zero with an empty queue, keeping the
+// heap's backing array (and Dispatch/Trace) so a reused engine re-runs
+// without reallocating. Sequence numbering restarts, so a reset run is
+// cycle- and order-identical to a fresh one.
+func (e *Engine) Reset() {
+	for i := range e.heap {
+		e.heap[i].fn = nil
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.nextID = 0
+}
 
 // Step runs the single earliest pending event and returns true, or returns
 // false if the queue is empty.
 func (e *Engine) Step() bool {
-	if e.queue.Len() == 0 {
+	if len(e.heap) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.At
-	ev.Fn()
+	ev := e.heap[0]
+	e.pop()
+	e.now = ev.at
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		e.Dispatch(ev.kind, ev.a, ev.b)
+	}
 	if e.Trace != nil {
 		e.Trace.Emit(obs.Event{
-			Kind: obs.EvEngineQueue, At: float64(e.now), Bytes: int64(e.queue.Len()),
+			Kind: obs.EvEngineQueue, At: float64(e.now), Bytes: int64(len(e.heap)),
 		})
 	}
 	return true
@@ -87,8 +140,8 @@ func (e *Engine) Run() Time {
 // RunUntil executes events with timestamps <= deadline. It returns true if
 // the queue drained, false if it stopped at the deadline with work pending.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for e.queue.Len() > 0 {
-		if e.queue[0].At > deadline {
+	for len(e.heap) > 0 {
+		if e.heap[0].at > deadline {
 			return false
 		}
 		e.Step()
@@ -96,35 +149,66 @@ func (e *Engine) RunUntil(deadline Time) bool {
 	return true
 }
 
-// eventQueue implements heap.Interface ordered by (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
+// less orders events by (at, seq) — a strict total order, so the dispatch
+// sequence is independent of heap arity and layout.
+func (e *Engine) less(i, j int) bool {
+	if e.heap[i].at != e.heap[j].at {
+		return e.heap[i].at < e.heap[j].at
 	}
-	return q[i].seq < q[j].seq
+	return e.heap[i].seq < e.heap[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+// push appends the record and sifts it up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.idx = len(*q)
-	*q = append(*q, ev)
+// pop removes the minimum record, clearing the vacated slot's closure so
+// the backing array never pins dead captures.
+func (e *Engine) pop() {
+	n := len(e.heap) - 1
+	e.heap[0] = e.heap[n]
+	e.heap[n].fn = nil
+	e.heap = e.heap[:n]
+	if n > 1 {
+		e.siftDown()
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+// siftDown restores heap order from the root of the 4-ary heap. Four-way
+// branching halves the tree depth of a binary heap, trading two extra
+// comparisons per level for far fewer cache-missing swaps.
+func (e *Engine) siftDown() {
+	n := len(e.heap)
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(c, min) {
+				min = c
+			}
+		}
+		if !e.less(min, i) {
+			return
+		}
+		e.heap[i], e.heap[min] = e.heap[min], e.heap[i]
+		i = min
+	}
 }

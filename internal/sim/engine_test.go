@@ -111,3 +111,158 @@ func TestTimeMonotonic(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestTypedDispatch(t *testing.T) {
+	var e Engine
+	type rec struct {
+		kind Kind
+		a, b int32
+		at   Time
+	}
+	var got []rec
+	e.Dispatch = func(kind Kind, a, b int32) {
+		got = append(got, rec{kind, a, b, e.Now()})
+	}
+	e.ScheduleKind(20, 2, 7, 8)
+	e.ScheduleKind(10, 1, 5, 6)
+	e.AfterKind(5, 3, 1, 2)
+	if end := e.Run(); end != 20 {
+		t.Errorf("final time = %d, want 20", end)
+	}
+	want := []rec{{3, 1, 2, 5}, {1, 5, 6, 10}, {2, 7, 8, 20}}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTypedClosureInterleaving: a shared seq counter keeps typed and
+// closure events in exact scheduling order at equal timestamps.
+func TestTypedClosureInterleaving(t *testing.T) {
+	var e Engine
+	var got []int32
+	e.Dispatch = func(kind Kind, a, b int32) { got = append(got, a) }
+	e.ScheduleKind(5, 1, 0, 0)
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.ScheduleKind(5, 1, 2, 0)
+	e.Schedule(5, func() { got = append(got, 3) })
+	e.Run()
+	for i, v := range got {
+		if v != int32(i) {
+			t.Fatalf("mixed same-time events reordered: %v", got)
+		}
+	}
+}
+
+func TestTypedPastClampsToNow(t *testing.T) {
+	var e Engine
+	ran := Time(0)
+	e.Dispatch = func(kind Kind, a, b int32) { ran = e.Now() }
+	e.Schedule(100, func() { e.ScheduleKind(50, 1, 0, 0) })
+	e.Run()
+	if ran != 100 {
+		t.Errorf("past typed event ran at %d, want clamped to 100", ran)
+	}
+}
+
+// TestResetDeterminism: a reset engine replays the same schedule with the
+// same dispatch order and final time, without growing its queue storage.
+func TestResetDeterminism(t *testing.T) {
+	var e Engine
+	run := func() []int32 {
+		var got []int32
+		e.Dispatch = func(kind Kind, a, b int32) {
+			got = append(got, a)
+			if a < 20 {
+				e.AfterKind(Time(a%3+1), 1, a+10, 0)
+			}
+		}
+		for i := int32(0); i < 8; i++ {
+			e.ScheduleKind(Time(i%4), 1, i, 0)
+		}
+		e.Run()
+		return got
+	}
+	first := run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 {
+		t.Fatalf("reset left now=%d pending=%d", e.Now(), e.Pending())
+	}
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("replay ran %d events, first run %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at event %d: %d vs %d", i, second[i], first[i])
+		}
+	}
+}
+
+// TestTypedScheduleZeroAlloc: after warm-up, the typed schedule/run loop
+// performs no allocations.
+func TestTypedScheduleZeroAlloc(t *testing.T) {
+	var e Engine
+	e.Dispatch = func(kind Kind, a, b int32) {
+		if kind == 1 && a > 0 {
+			e.AfterKind(3, 1, a-1, 0)
+		}
+	}
+	// Warm up the heap's backing array.
+	for i := 0; i < 256; i++ {
+		e.ScheduleKind(Time(i), 1, 0, 0)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(100, func() {
+		e.Reset()
+		for i := 0; i < 200; i++ {
+			e.ScheduleKind(Time(i%16), 1, int32(i%8), 0)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("typed schedule/run loop allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestHeapOrderProperty: mixed typed and closure events at random times
+// always dispatch in nondecreasing (time, schedule-order) order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		var e Engine
+		type stamp struct {
+			at  Time
+			seq int32
+		}
+		var seen []stamp
+		e.Dispatch = func(kind Kind, a, b int32) {
+			seen = append(seen, stamp{e.Now(), a})
+		}
+		for i, d := range delays {
+			if i%2 == 0 {
+				e.ScheduleKind(Time(d), 1, int32(i), 0)
+			} else {
+				i := int32(i)
+				at := Time(d)
+				e.Schedule(at, func() { seen = append(seen, stamp{e.Now(), i}) })
+			}
+		}
+		e.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i].at < seen[i-1].at {
+				return false
+			}
+			if seen[i].at == seen[i-1].at && seen[i].seq < seen[i-1].seq {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
