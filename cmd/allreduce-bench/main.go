@@ -41,8 +41,21 @@
 //	allreduce-bench -schedule multitree.json
 //	allreduce-bench -schedule multitree.json -json
 //
-// Output is CSV on stdout; -json switches the single-run, Fig. 9 and
-// -schedule modes to machine-readable JSON.
+// Fault injection: -faults takes a spec of link/node faults
+// (link:3-7@t=5000:down, link:0-1:bw=0.5, link:2-3:lat+100, node:12:down,
+// comma-separated). In single-run and -schedule modes the faults activate
+// mid-flight inside the engines; with -replan (single-run only) the
+// topology is degraded first and the algorithm plans around them.
+// -resilience sweeps completion time against the failed-link count on
+// -topo, re-planning every algorithm and cross-validating both engines:
+//
+//	allreduce-bench -algo multitree -topo torus-4x4 -faults link:0-1:bw=0.5
+//	allreduce-bench -algo multitree -topo torus-4x4 -faults link:0-1:down -replan
+//	allreduce-bench -schedule multitree.json -faults link:0-1@t=5000:down
+//	allreduce-bench -resilience -topo torus-4x4 -maxfail 2 -seed 42
+//
+// Output is CSV on stdout; -json switches the single-run, Fig. 9,
+// -schedule and -resilience modes to machine-readable JSON.
 package main
 
 import (
@@ -60,6 +73,7 @@ import (
 	_ "multitree/internal/algorithms/all"
 	"multitree/internal/collective"
 	"multitree/internal/experiments"
+	"multitree/internal/faults"
 	"multitree/internal/network"
 	"multitree/internal/ni"
 	"multitree/internal/obs"
@@ -88,14 +102,22 @@ func main() {
 
 		schedFile = flag.String("schedule", "", "run a schedule IR file (schedule-dump -export) through both engines, the correctness interpreter and the NI compiler")
 		jsonOut   = flag.Bool("json", false, "emit JSON instead of CSV (single-run, Fig. 9 and -schedule modes)")
+
+		faultSpec  = flag.String("faults", "", "fault spec, e.g. link:3-7@t=5000:down,link:0-1:bw=0.5,node:12:down; injected mid-flight in single-run and -schedule modes, or re-planned around with -replan")
+		replan     = flag.Bool("replan", false, "single-run mode: degrade the topology with -faults before planning, so the algorithm routes around the faults instead of hitting them mid-flight")
+		resilience = flag.Bool("resilience", false, "sweep completion time vs failed-link count on -topo, re-planning every algorithm on both engines")
+		maxFail    = flag.Int("maxfail", 2, "resilience mode: largest failed-link count")
+		seed       = flag.Int64("seed", 42, "resilience mode: seed for the deterministic failed-link draw")
 	)
 	flag.Parse()
 
 	switch {
+	case *resilience:
+		runResilience(*topo, *size, *maxFail, *seed, *jsonOut)
 	case *schedFile != "":
-		runSchedule(*schedFile, *jsonOut)
+		runSchedule(*schedFile, *faultSpec, *jsonOut)
 	case *algo != "":
-		runSingle(*algo, *topo, *size, *engine, *traceOut, *linkstats, *steputil, *bin, *jsonOut)
+		runSingle(*algo, *topo, *size, *engine, *faultSpec, *replan, *traceOut, *linkstats, *steputil, *bin, *jsonOut)
 	case *table1:
 		runTable1(*topos)
 	case *fig == "2":
@@ -147,13 +169,17 @@ type scheduleReport struct {
 // ramp inputs, and an NI table-compilation attempt with a Fig. 6 machine
 // replay when it succeeds. Validation (DAG shape, link existence, flow
 // coverage, topology fingerprint) already happened inside Import.
-func runSchedule(path string, jsonOut bool) {
+func runSchedule(path, faultSpec string, jsonOut bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	s, err := collective.Import(f)
 	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := faults.ParseSpec(faultSpec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -167,6 +193,9 @@ func runSchedule(path string, jsonOut bool) {
 		Transfers: len(s.Transfers),
 	}
 	cfg := network.DefaultConfig()
+	if !plan.Empty() {
+		cfg.Faults = plan
+	}
 	fl, err := network.SimulateFluid(s, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -219,7 +248,7 @@ func emitJSON(v any) {
 // requested artifacts. The packet engine is the default here for the same
 // reason as Fig. 9: its per-packet link occupancy gives the most honest
 // timelines; -engine fluid selects the flow-level engine.
-func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil string, bin float64, jsonOut bool) {
+func runSingle(algo, topoSpec, size, engineName, faultSpec string, replan bool, traceOut, linkstats, steputil string, bin float64, jsonOut bool) {
 	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
 	if err != nil {
 		log.Fatal(err)
@@ -228,12 +257,32 @@ func runSingle(algo, topoSpec, size, engineName, traceOut, linkstats, steputil s
 	if err != nil {
 		log.Fatal(err)
 	}
+	plan, err := faults.ParseSpec(faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if replan && plan.Empty() {
+		log.Fatal("-replan needs a -faults spec to plan around")
+	}
+	if replan {
+		// Topology-layer faults: plan the collective on the degraded fabric
+		// so routes avoid the failed links by construction.
+		deg, err := faults.Apply(topo, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = deg.Topo
+		plan = nil // already baked into the degraded view
+	}
 	alg := experiments.AlgSpec{Name: algo, Msg: strings.HasSuffix(algo, "-msg")}
 	engine := experiments.Packet
 	if engineName == "fluid" {
 		engine = experiments.Fluid
 	}
-	tr, err := experiments.TraceAllReduce(topo, alg, dataBytes, engine, bin)
+	if plan.Empty() {
+		plan = nil
+	}
+	tr, err := experiments.TraceAllReduceFaulty(topo, alg, dataBytes, engine, bin, plan)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -364,6 +413,34 @@ func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut b
 	}
 	if jsonOut {
 		emitJSON(all)
+	}
+}
+
+// runResilience sweeps completion time against the number of failed
+// links on one topology: deterministic connectivity-preserving failure
+// draws, every algorithm re-planned on the degraded fabric, both engines.
+func runResilience(topoSpec, size string, maxFail int, seed int64, jsonOut bool) {
+	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataBytes, err := parseSize(size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := experiments.Resilience(topo, maxFail, seed, dataBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		emitJSON(points)
+		return
+	}
+	fmt.Println("topology,failed_links,algorithm,engine,data_bytes,cycles,bandwidth_gbps,supported,note")
+	for _, p := range points {
+		fmt.Printf("%s,%d,%s,%s,%d,%d,%.3f,%v,%s\n",
+			p.Topology, p.FailedLinks, p.Algorithm, p.Engine, p.DataBytes,
+			p.Cycles, p.BandwidthGBps, p.Supported, p.Note)
 	}
 }
 

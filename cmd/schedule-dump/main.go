@@ -22,6 +22,12 @@
 // IR JSON file that allreduce-bench -schedule can run:
 //
 //	schedule-dump -topo torus-4x4 -algo multitree -size 1MiB -export mt.json
+//
+// With -faults the export re-plans on the degraded fabric, writing a
+// schedule that routes around the failed hardware; a spec that
+// disconnects the topology fails with a non-zero exit:
+//
+//	schedule-dump -topo torus-4x4 -algo multitree -faults link:3-7:down -export mt-deg.json
 package main
 
 import (
@@ -38,6 +44,7 @@ import (
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/dbtree"
+	"multitree/internal/faults"
 	"multitree/internal/network"
 	"multitree/internal/ni"
 	"multitree/internal/obs"
@@ -59,9 +66,10 @@ func main() {
 		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the MultiTree schedule")
 		bin       = flag.Float64("bin", 100, "utilization histogram bin width in cycles for -linkstats")
 
-		algo   = flag.String("algo", "multitree", "algorithm for -export ("+strings.Join(algorithms.Names(), ", ")+")")
-		size   = flag.String("size", "1MiB", "all-reduce data size for -export")
-		export = flag.String("export", "", "write the -algo schedule as a versioned IR JSON file and exit")
+		algo      = flag.String("algo", "multitree", "algorithm for -export ("+strings.Join(algorithms.Names(), ", ")+")")
+		size      = flag.String("size", "1MiB", "all-reduce data size for -export")
+		export    = flag.String("export", "", "write the -algo schedule as a versioned IR JSON file and exit")
+		faultSpec = flag.String("faults", "", "fault spec for -export; re-plan on the degraded fabric (e.g. link:3-7:down,node:12:down)")
 	)
 	flag.Parse()
 
@@ -71,8 +79,11 @@ func main() {
 	}
 
 	if *export != "" {
-		exportSchedule(topo, *algo, *size, *export)
+		exportSchedule(topo, *algo, *size, *export, *faultSpec)
 		return
+	}
+	if *faultSpec != "" {
+		log.Fatal("-faults only applies to -export mode; use allreduce-bench -faults to simulate mid-flight faults")
 	}
 	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
 	if err != nil {
@@ -142,8 +153,22 @@ func main() {
 
 // exportSchedule resolves the named algorithm through the registry,
 // builds its schedule at the requested size, and writes the versioned IR
-// file consumed by allreduce-bench -schedule.
-func exportSchedule(topo *topology.Topology, algo, size, path string) {
+// file consumed by allreduce-bench -schedule. A non-empty fault spec
+// degrades the topology first, so the exported schedule is the re-plan
+// that routes around the failed hardware; a spec that disconnects the
+// fabric is a fatal error.
+func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string) {
+	if faultSpec != "" {
+		plan, err := faults.ParseSpec(faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		deg, err := faults.Apply(topo, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo = deg.Topo
+	}
 	spec, msg, err := algorithms.Resolve(algo)
 	if err != nil {
 		log.Fatal(err)

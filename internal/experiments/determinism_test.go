@@ -88,3 +88,62 @@ func TestPacketSimReuseDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestFluidEqualTimeEventOrder pins the fluid engine's total event order
+// (at, kind, id) at an exact tie: with 564-word flows on the default
+// torus links, a transfer injected alone takes 150 cycles (= estStep
+// = path latency), so node 0's first delivery at t=300 coincides exactly
+// with its deferred step-3 entry. Arrivals must precede step entries at
+// the same instant — the delivery clears dependencies before the gate
+// opening scans for releasable transfers — and the heap order must not
+// depend on insertion order, so repeat runs are byte-identical.
+func TestFluidEqualTimeEventOrder(t *testing.T) {
+	topo, err := topospec.Parse("torus-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two flows of 564 words: payload 2256 B, wire 2256 + 9*16 = 2400 B,
+	// 150 cycles at 16 B/cycle.
+	s := collective.NewSchedule("tie", topo, 1128, 2)
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 0, Step: 1})
+	s.Add(collective.Transfer{Src: 0, Dst: 2, Op: collective.Gather, Flow: 1, Step: 3})
+
+	run := func() []obs.Event {
+		rec := &obs.Recorder{}
+		cfg := network.DefaultConfig()
+		cfg.Tracer = rec
+		if _, err := network.SimulateFluid(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events
+	}
+	events := run()
+
+	deliveredAt, stepAt := -1, -1
+	for i, ev := range events {
+		if ev.At != 300 {
+			continue
+		}
+		switch {
+		case ev.Kind == obs.EvTransferDelivered && ev.Transfer == 0:
+			deliveredAt = i
+		case ev.Kind == obs.EvStepEnter && ev.Node == 0 && ev.Step == 3:
+			stepAt = i
+		}
+	}
+	if deliveredAt < 0 || stepAt < 0 {
+		t.Fatalf("tie not exercised: delivery idx %d, step-entry idx %d (want both at t=300)",
+			deliveredAt, stepAt)
+	}
+	if deliveredAt > stepAt {
+		t.Errorf("step entry (idx %d) popped before the same-instant delivery (idx %d)",
+			stepAt, deliveredAt)
+	}
+
+	first := eventStreamBytes(events)
+	for i := 0; i < 3; i++ {
+		if again := eventStreamBytes(run()); !bytes.Equal(first, again) {
+			t.Fatalf("repeat run %d produced a different event stream", i+1)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"multitree/internal/collective"
+	"multitree/internal/faults"
 	"multitree/internal/network"
 	"multitree/internal/obs"
 	"multitree/internal/topology"
@@ -31,6 +32,14 @@ func (tr *TracedResult) WriteChromeTrace(w io.Writer) error {
 // MeasureAllReduce while recording every simulation event and streaming
 // it into a metrics collector with binCycles-wide utilization bins.
 func TraceAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64) (*TracedResult, error) {
+	return TraceAllReduceFaulty(topo, alg, dataBytes, engine, binCycles, nil)
+}
+
+// TraceAllReduceFaulty is TraceAllReduce with engine-layer fault
+// injection: the plan's faults activate mid-flight during the traced run
+// (EvLinkFault events land in the recording), without re-planning the
+// schedule around them.
+func TraceAllReduceFaulty(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64, plan *faults.Plan) (*TracedResult, error) {
 	elems := int(dataBytes / collective.WordSize)
 	if elems < 1 {
 		return nil, fmt.Errorf("experiments: data size %d bytes is below one %d-byte element", dataBytes, collective.WordSize)
@@ -43,6 +52,7 @@ func TraceAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engin
 	met := obs.NewMetrics(binCycles)
 	cfg := network.DefaultConfig()
 	cfg.MessageBased = alg.Msg
+	cfg.Faults = plan
 	cfg.Tracer = obs.Tee(rec, met)
 	res, err := engine.run(s, cfg)
 	if err != nil {

@@ -21,6 +21,7 @@ package network
 import (
 	"fmt"
 
+	"multitree/internal/faults"
 	"multitree/internal/obs"
 	"multitree/internal/sim"
 )
@@ -58,6 +59,16 @@ type Config struct {
 	// packet engine for backpressure (4 VCs x 318 flits in Table III).
 	VCs          int
 	VCDepthFlits int
+
+	// Faults, when non-nil, injects mid-flight fabric degradation into
+	// either engine: links fail, lose bandwidth or gain latency at their
+	// configured activation times. A transfer that must cross a link at
+	// or after the link died can never finish, so the run errors with a
+	// descriptive stall report naming the blocked transfers. The nil
+	// default keeps the no-fault fast paths untouched. To instead
+	// re-plan the collective around known faults, degrade the topology
+	// with faults.Apply before building the schedule.
+	Faults *faults.Plan
 
 	// Tracer, when non-nil, receives typed simulation events from either
 	// engine (transfer ready/injected/delivered, link-acquired spans,

@@ -1,0 +1,207 @@
+package network_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/faults"
+	"multitree/internal/network"
+	"multitree/internal/obs"
+)
+
+// oneTransfer builds a single 0->1 gather of elems words.
+func oneTransfer(elems int) *collective.Schedule {
+	s := collective.NewSchedule("unit", torus4x4(), elems, 1)
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 0, Step: 1})
+	return s
+}
+
+func mustPlan(t *testing.T, spec string) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return p
+}
+
+// TestFaultDegradedBandwidth: a straggler cable at half bandwidth doubles
+// serialization time in both engines.
+func TestFaultDegradedBandwidth(t *testing.T) {
+	s := oneTransfer(4096)
+	cfg := network.DefaultConfig()
+	cfg.Lockstep = false
+	cfg.Faults = mustPlan(t, "link:0-1:bw=0.5")
+	wire := cfg.WireBytes(4096 * collective.WordSize)
+	want := float64(wire)/8 + 150 // 16 GB/s scaled by 0.5, plus latency
+
+	fres, err := network.SimulateFluid(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(fres.Cycles); math.Abs(got-want) > 2 {
+		t.Errorf("fluid cycles = %v, want ~%v", got, want)
+	}
+	// LinkBusy must account at the degraded rate too.
+	var busy float64
+	for _, b := range fres.LinkBusy {
+		busy += float64(b)
+	}
+	if wantBusy := float64(wire) / 8; math.Abs(busy-wantBusy) > 2 {
+		t.Errorf("fluid LinkBusy total = %v, want ~%v", busy, wantBusy)
+	}
+
+	pres, err := network.SimulatePackets(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Packet engine rounds per packet; allow one cycle per packet of slack.
+	if got := float64(pres.Cycles); math.Abs(got-want) > 64 {
+		t.Errorf("packet cycles = %v, want ~%v", got, want)
+	}
+}
+
+// TestFaultAddedLatency: lat+ faults delay delivery by the added
+// propagation time in both engines.
+func TestFaultAddedLatency(t *testing.T) {
+	s := oneTransfer(4096)
+	base := network.DefaultConfig()
+	base.Lockstep = false
+	faulty := base
+	faulty.Faults = mustPlan(t, "link:0-1:lat+100")
+
+	for _, eng := range []struct {
+		name string
+		run  func(*collective.Schedule, network.Config) (*network.Result, error)
+	}{
+		{"fluid", network.SimulateFluid},
+		{"packet", network.SimulatePackets},
+	} {
+		r0, err := eng.run(s, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := eng.run(s, faulty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int64(r1.Cycles) - int64(r0.Cycles); got != 100 {
+			t.Errorf("%s: added latency shifted completion by %d cycles, want 100", eng.name, got)
+		}
+	}
+}
+
+// TestFaultLinkDownStalls: a transfer that must cross a dead link stalls
+// both engines with a descriptive error naming the transfer and link.
+func TestFaultLinkDownStalls(t *testing.T) {
+	s := oneTransfer(4096)
+	cfg := network.DefaultConfig()
+	cfg.Lockstep = false
+	cfg.Faults = mustPlan(t, "link:0-1:down")
+
+	for _, eng := range []struct {
+		name string
+		run  func(*collective.Schedule, network.Config) (*network.Result, error)
+	}{
+		{"fluid", network.SimulateFluid},
+		{"packet", network.SimulatePackets},
+	} {
+		_, err := eng.run(s, cfg)
+		if err == nil {
+			t.Fatalf("%s: simulation across a dead link succeeded", eng.name)
+		}
+		msg := err.Error()
+		for _, want := range []string{"stalled", "0/1", "t0", "n0->n1"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("%s stall error %q missing %q", eng.name, msg, want)
+			}
+		}
+	}
+}
+
+// TestFaultMidFlight: a link that dies mid-serialization strands the
+// remaining bytes/packets; the fault time is honored (the run does not
+// fail before it) and the stall report names the failed link.
+func TestFaultMidFlight(t *testing.T) {
+	s := oneTransfer(1 << 16) // 256 KiB payload: ~17k cycles of serialization
+	cfg := network.DefaultConfig()
+	cfg.Lockstep = false
+	cfg.Faults = mustPlan(t, "link:0-1@t=5000:down")
+
+	for _, eng := range []struct {
+		name string
+		run  func(*collective.Schedule, network.Config) (*network.Result, error)
+	}{
+		{"fluid", network.SimulateFluid},
+		{"packet", network.SimulatePackets},
+	} {
+		_, err := eng.run(s, cfg)
+		if err == nil {
+			t.Fatalf("%s: mid-flight link death did not stall", eng.name)
+		}
+		if !strings.Contains(err.Error(), "n0->n1") {
+			t.Errorf("%s stall error %q does not name the failed link", eng.name, err)
+		}
+	}
+
+	// The same fault after the transfer would have finished is harmless.
+	late := network.DefaultConfig()
+	late.Lockstep = false
+	late.Faults = mustPlan(t, "link:0-1@t=9999999:down")
+	if _, err := network.SimulateFluid(s, late); err != nil {
+		t.Errorf("fluid: post-completion fault failed the run: %v", err)
+	}
+	if _, err := network.SimulatePackets(s, late); err != nil {
+		t.Errorf("packet: post-completion fault failed the run: %v", err)
+	}
+}
+
+// TestFaultEventEmitted: both engines emit EvLinkFault at the activation
+// time with the effective bandwidth scale.
+func TestFaultEventEmitted(t *testing.T) {
+	s := oneTransfer(4096)
+	for _, eng := range []struct {
+		name string
+		run  func(*collective.Schedule, network.Config) (*network.Result, error)
+	}{
+		{"fluid", network.SimulateFluid},
+		{"packet", network.SimulatePackets},
+	} {
+		rec := &obs.Recorder{}
+		cfg := network.DefaultConfig()
+		cfg.Lockstep = false
+		cfg.Faults = mustPlan(t, "link:0-1@t=10:bw=0.5")
+		cfg.Tracer = rec
+		if _, err := eng.run(s, cfg); err != nil {
+			t.Fatal(err)
+		}
+		found := 0
+		for _, ev := range rec.Events {
+			if ev.Kind == obs.EvLinkFault {
+				found++
+				if ev.At != 10 || ev.Busy != 0.5 {
+					t.Errorf("%s: EvLinkFault at=%v busy=%v, want 10/0.5", eng.name, ev.At, ev.Busy)
+				}
+			}
+		}
+		if found != 2 { // both directions of the cable
+			t.Errorf("%s: %d EvLinkFault events, want 2", eng.name, found)
+		}
+	}
+}
+
+// TestFaultPlanValidated: plans referencing absent cables are rejected up
+// front by both engines.
+func TestFaultPlanValidated(t *testing.T) {
+	s := oneTransfer(16)
+	cfg := network.DefaultConfig()
+	cfg.Faults = &faults.Plan{Links: []faults.LinkFault{{A: 0, B: 5, Down: true}}}
+	if _, err := network.SimulateFluid(s, cfg); err == nil {
+		t.Error("fluid accepted a fault on an absent cable")
+	}
+	if _, err := network.SimulatePackets(s, cfg); err == nil {
+		t.Error("packet accepted a fault on an absent cable")
+	}
+}

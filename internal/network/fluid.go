@@ -4,8 +4,10 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"strings"
 
 	"multitree/internal/collective"
+	"multitree/internal/faults"
 	"multitree/internal/obs"
 	"multitree/internal/sim"
 	"multitree/internal/topology"
@@ -22,6 +24,10 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	flt, err := faults.Compile(cfg.Faults, s.Topo)
+	if err != nil {
+		return nil, err
+	}
 	n := len(s.Transfers)
 	res := &Result{
 		TransferDone: make([]sim.Time, n),
@@ -31,7 +37,7 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 		return res, nil
 	}
 
-	st := newFluidState(s, cfg)
+	st := newFluidState(s, cfg, flt)
 	for i := range st.flows {
 		res.PayloadBytes += s.Bytes(&s.Transfers[i])
 		res.WireBytes += int64(st.flows[i].wire)
@@ -40,8 +46,7 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 	for st.done < n {
 		tNext := st.nextEventTime()
 		if math.IsInf(tNext, 1) {
-			return nil, fmt.Errorf("network: fluid simulation stalled with %d/%d transfers done (%s on %s)",
-				st.done, n, s.Algorithm, s.Topo.Name())
+			return nil, st.stallError()
 		}
 		st.advanceTo(tNext)
 		st.processInjections(res)
@@ -52,6 +57,16 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 		}
 	}
 	res.Cycles = sim.Time(math.Ceil(st.now))
+	// Busy time accumulates fractionally per flow and rounds once here, so
+	// rounding error stays below one cycle per link however many transfers
+	// crossed it (the per-transfer Ceil it replaces skewed utilization
+	// against the packet engine as transfer counts grew). The epsilon keeps
+	// float accumulation from pushing an exact integer over the ceiling.
+	for l, b := range st.busy {
+		if b > fluidEps {
+			res.LinkBusy[l] = sim.Time(math.Ceil(b - fluidEps))
+		}
+	}
 	return res, nil
 }
 
@@ -77,19 +92,43 @@ const (
 	fsDone
 )
 
-// timedEvent is either a transfer arrival (delivery) or a node step entry.
+// timedEvent is a transfer arrival (delivery), a node step entry, or a
+// fault activation.
 type timedEvent struct {
 	at   float64
-	kind uint8 // 0 = arrival, 1 = node step entry
-	id   int   // transfer id or node id
+	kind uint8 // tevArrival, tevStepEntry or tevFault
+	id   int   // transfer id, node id, or fault-change index
 }
+
+const (
+	tevArrival   = iota // transfer delivery at its destination
+	tevStepEntry        // deferred lockstep step entry
+	tevFault            // fault activation (Config.Faults)
+)
 
 type eventHeap []timedEvent
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(timedEvent)) }
+func (h eventHeap) Len() int { return len(h) }
+
+// Less is a total order (at, kind, id), not just by time: container/heap
+// gives equal keys an unspecified pop order, so ties must be broken for
+// runs to be bit-identical. Arrivals sort before step entries at the same
+// instant deliberately — a delivery at time t clears its dependents'
+// dependencies before any step gate opening at t scans for releasable
+// transfers, matching the packet engine, where the (at, seq) core fires
+// the earlier-scheduled arrival first. Fault activations come last so
+// rate changes never retroactively affect a same-instant delivery.
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].id < h[j].id
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	v := old[len(old)-1]
@@ -111,10 +150,12 @@ type fluidState struct {
 	s   *collective.Schedule
 	cfg Config
 	tr  obs.Tracer
+	flt *faults.Compiled
 	now float64
 
 	flows []fluidFlow
 	succ  [][]int32
+	busy  []float64 // fractional busy time per link, rounded once at report
 
 	active     []int32 // indices of fsActive flows
 	ready      []int32 // deps satisfied, waiting to activate (step gate)
@@ -131,13 +172,19 @@ type fluidState struct {
 
 const fluidEps = 1e-6
 
-func newFluidState(s *collective.Schedule, cfg Config) *fluidState {
+func newFluidState(s *collective.Schedule, cfg Config, flt *faults.Compiled) *fluidState {
 	n := len(s.Transfers)
 	st := &fluidState{
-		s: s, cfg: cfg, tr: cfg.Tracer,
+		s: s, cfg: cfg, tr: cfg.Tracer, flt: flt,
 		flows:    make([]fluidFlow, n),
 		succ:     make([][]int32, n),
+		busy:     make([]float64, len(s.Topo.Links())),
 		lockstep: cfg.Lockstep,
+	}
+	if flt != nil {
+		for i, ch := range flt.Changes() {
+			heap.Push(&st.events, timedEvent{at: float64(ch.At), kind: tevFault, id: i})
+		}
 	}
 	maxWire, minBW := 0.0, math.Inf(1)
 	for _, l := range s.Topo.Links() {
@@ -226,7 +273,7 @@ func (st *fluidState) enterStep(node int, at float64) {
 	}
 	if at > st.now+fluidEps {
 		c.entered = false
-		heap.Push(&st.events, timedEvent{at: at, kind: 1, id: node})
+		heap.Push(&st.events, timedEvent{at: at, kind: tevStepEntry, id: node})
 		return
 	}
 	c.entered = true
@@ -291,10 +338,17 @@ func (st *fluidState) activateReady() {
 }
 
 // injected handles a flow whose last byte left the source: schedule its
-// delivery and advance the sender's lockstep clock.
+// delivery (one path latency later, plus any fault-added latency in
+// effect now) and advance the sender's lockstep clock.
 func (st *fluidState) injected(id int32) {
 	f := &st.flows[id]
-	heap.Push(&st.events, timedEvent{at: st.now + f.latency, kind: 0, id: int(id)})
+	lat := f.latency
+	if st.flt != nil {
+		for _, l := range f.path {
+			lat += float64(st.flt.ExtraLatency(l, st.now))
+		}
+	}
+	heap.Push(&st.events, timedEvent{at: st.now + lat, kind: tevArrival, id: int(id)})
 	if !st.lockstep {
 		return
 	}
@@ -361,7 +415,7 @@ func (st *fluidState) processInjections(res *Result) {
 			f.rem = 0
 			f.state = fsInFlight
 			for _, l := range f.path {
-				res.LinkBusy[l] += sim.Time(math.Ceil(f.wire / st.s.Topo.Link(l).Bandwidth))
+				st.busy[l] += f.wire / st.effBW(l)
 			}
 			if st.tr != nil {
 				// The flow's active interval on each routed link, with the
@@ -372,7 +426,7 @@ func (st *fluidState) processInjections(res *Result) {
 					st.tr.Emit(obs.Event{
 						Kind: obs.EvLinkAcquired,
 						At:   f.start, Dur: st.now - f.start,
-						Busy: f.wire / st.s.Topo.Link(l).Bandwidth,
+						Busy: f.wire / st.effBW(l),
 						Link: int32(l), Transfer: id, Node: int32(t.Src),
 						Flow: int32(t.Flow), Step: int32(t.Step),
 						Bytes: int64(f.wire),
@@ -393,7 +447,7 @@ func (st *fluidState) processTimed(res *Result) {
 	for len(st.events) > 0 && st.events[0].at <= st.now+fluidEps {
 		ev := heap.Pop(&st.events).(timedEvent)
 		switch ev.kind {
-		case 0: // delivery at destination
+		case tevArrival: // delivery at destination
 			id := int32(ev.id)
 			st.flows[id].state = fsDone
 			st.done++
@@ -419,10 +473,110 @@ func (st *fluidState) processTimed(res *Result) {
 					}
 				}
 			}
-		case 1: // deferred node step entry
+		case tevStepEntry: // deferred node step entry
 			st.enterStep(ev.id, st.now)
+		case tevFault:
+			ch := st.flt.Changes()[ev.id]
+			if st.tr != nil {
+				scale := ch.BWScale
+				if ch.Down {
+					scale = 0
+				}
+				st.tr.Emit(obs.Event{
+					Kind: obs.EvLinkFault, At: st.now, Link: int32(ch.Link),
+					Busy: scale, Dur: float64(ch.AddLatency),
+				})
+			}
+			// Effective bandwidths changed; flows on the link re-share (a
+			// dead link's flows drop to rate 0 in recomputeRates).
+			st.ratesDirty = true
 		}
 	}
+}
+
+// effBW is link l's effective bandwidth at the current time under the
+// compiled fault plan. A dead link reports the base bandwidth for busy
+// accounting only when a flow somehow finished on it the very instant it
+// died; rate allocation uses linkCap, which reports 0.
+func (st *fluidState) effBW(l topology.LinkID) float64 {
+	base := st.s.Topo.Link(l).Bandwidth
+	if st.flt == nil {
+		return base
+	}
+	if bw := st.flt.Bandwidth(l, base, st.now); bw > 0 {
+		return bw
+	}
+	return base
+}
+
+// linkCap is link l's capacity for rate allocation: 0 once the link died.
+func (st *fluidState) linkCap(l topology.LinkID) float64 {
+	base := st.s.Topo.Link(l).Bandwidth
+	if st.flt == nil {
+		return base
+	}
+	return st.flt.Bandwidth(l, base, st.now)
+}
+
+// stallError describes why no transfer can make progress: the overall
+// counts, then the first few blocked transfers with their unmet
+// dependencies (or the failed link pinning them at rate 0, or the closed
+// step gate), and under lockstep the first stuck node/step — enough to
+// diagnose fault-induced stalls without a trace.
+func (st *fluidState) stallError() error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network: fluid simulation stalled with %d/%d transfers done (%s on %s)",
+		st.done, len(st.flows), st.s.Algorithm, st.s.Topo.Name())
+	const maxList = 3
+	listed, blocked := 0, 0
+	for id := range st.flows {
+		f := &st.flows[id]
+		if f.state == fsDone || f.state == fsInFlight {
+			continue
+		}
+		blocked++
+		if listed == maxList {
+			continue
+		}
+		listed++
+		switch {
+		case f.state == fsWaiting && f.depsLeft > 0:
+			fmt.Fprintf(&sb, "; t%d waiting on", id)
+			for _, d := range st.s.Transfers[id].Deps {
+				if st.flows[d].state != fsDone {
+					fmt.Fprintf(&sb, " t%d", d)
+				}
+			}
+		case f.state == fsWaiting:
+			fmt.Fprintf(&sb, "; t%d ready, step %d gate closed at node %d",
+				id, st.s.Transfers[id].Step, st.s.Transfers[id].Src)
+		default: // fsActive at rate 0 forever
+			fmt.Fprintf(&sb, "; t%d at rate 0", id)
+			if st.flt != nil {
+				for _, l := range f.path {
+					if at, down := st.flt.DownAt(l); down && float64(at) <= st.now+fluidEps {
+						lk := st.s.Topo.Link(l)
+						fmt.Fprintf(&sb, " across failed link %s->%s",
+							st.s.Topo.VertexName(lk.Src), st.s.Topo.VertexName(lk.Dst))
+						break
+					}
+				}
+			}
+		}
+	}
+	if blocked > listed {
+		fmt.Fprintf(&sb, "; and %d more", blocked-listed)
+	}
+	if st.lockstep {
+		for node := range st.clocks {
+			c := &st.clocks[node]
+			if c.idx < len(c.steps) {
+				fmt.Fprintf(&sb, "; node %d stuck at step %d", node, c.steps[c.idx])
+				break
+			}
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
 }
 
 // recomputeRates assigns rates to active flows: when step-priority
@@ -475,7 +629,7 @@ func (st *fluidState) recomputeRates() {
 		for _, l := range st.flows[id].path {
 			ls := links[l]
 			if ls == nil {
-				ls = &linkState{remCap: st.s.Topo.Link(l).Bandwidth}
+				ls = &linkState{remCap: st.linkCap(l)}
 				links[l] = ls
 			}
 			ls.count++

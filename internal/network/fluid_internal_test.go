@@ -1,0 +1,90 @@
+package network
+
+// White-box tests pinning the fluid engine's lockstep NOP-gap machinery:
+// deferred enterStep entries and step-priority rate-0 blocking, which the
+// black-box suites only exercise indirectly through completion times.
+
+import (
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+func fluidTorus() *topology.Topology {
+	return topology.Torus(4, 4, topology.DefaultLinkConfig())
+}
+
+// TestFluidDeferredStepEntry: a node whose first send is at step s > 1
+// must not enter its step at time 0 — the leading NOP gap stalls
+// (s-1)*estStep and the entry is deferred through the timed-event heap.
+func TestFluidDeferredStepEntry(t *testing.T) {
+	topo := fluidTorus()
+	s := collective.NewSchedule("unit", topo, 2048, 2)
+	s.Add(collective.Transfer{Src: 1, Dst: 2, Op: collective.Gather, Flow: 0, Step: 1})
+	s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 1, Step: 3})
+	cfg := DefaultConfig() // lockstep on
+
+	st := newFluidState(s, cfg, nil)
+	c := &st.clocks[0]
+	if c.entered {
+		t.Fatal("node 0 entered step 3 at time 0; its entry should be deferred")
+	}
+	// Node 1 sends at step 1: no gap, entered immediately.
+	if !st.clocks[1].entered {
+		t.Error("node 1 should have entered step 1 at time 0")
+	}
+	// The deferral is a tevStepEntry heap event at (3-1)*estStep.
+	want := 2 * st.estStep
+	found := false
+	for _, ev := range st.events {
+		if ev.kind == tevStepEntry && ev.id == 0 {
+			found = true
+			if ev.at != want {
+				t.Errorf("deferred entry at %v, want %v (2*estStep)", ev.at, want)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no deferred step-entry event for node 0 in the heap")
+	}
+	// And the gate stays closed until then: transfer 1 is ready (no deps)
+	// but must not activate.
+	if st.flows[1].state != fsWaiting {
+		t.Errorf("transfer 1 state = %d, want fsWaiting behind the step gate", st.flows[1].state)
+	}
+}
+
+// TestFluidStepPriorityRateZero: with step-priority arbitration, a flow
+// sharing a link with an earlier-step flow is held at rate 0; without it,
+// the two flows share max-min fairly.
+func TestFluidStepPriorityRateZero(t *testing.T) {
+	topo := fluidTorus()
+	build := func() *collective.Schedule {
+		s := collective.NewSchedule("unit", topo, 4096, 2)
+		s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 0, Step: 1})
+		s.Add(collective.Transfer{Src: 0, Dst: 1, Op: collective.Gather, Flow: 1, Step: 2})
+		return s
+	}
+	bw := topo.Link(0).Bandwidth
+
+	cfg := DefaultConfig()
+	cfg.Lockstep = false // both flows activate immediately
+	cfg.StepPriority = true
+	st := newFluidState(build(), cfg, nil)
+	if got := st.flows[0].rate; got != bw {
+		t.Errorf("step-1 flow rate = %v, want full link rate %v", got, bw)
+	}
+	if got := st.flows[1].rate; got != 0 {
+		t.Errorf("step-2 flow rate = %v, want 0 (blocked by step priority)", got)
+	}
+
+	cfg.StepPriority = false
+	st = newFluidState(build(), cfg, nil)
+	if got := st.flows[0].rate; got != bw/2 {
+		t.Errorf("fair-share step-1 flow rate = %v, want %v", got, bw/2)
+	}
+	if got := st.flows[1].rate; got != bw/2 {
+		t.Errorf("fair-share step-2 flow rate = %v, want %v", got, bw/2)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"multitree/internal/collective"
+	"multitree/internal/faults"
 	"multitree/internal/obs"
 	"multitree/internal/sim"
 	"multitree/internal/topology"
@@ -36,6 +38,7 @@ const (
 	evArrive                        // a: packet index
 	evEnterStep                     // a: node id
 	evDelivered                     // a: transfer id
+	evLinkFault                     // a: fault-change index
 )
 
 // packet is one on-wire unit of a transfer. Packets live in the
@@ -109,8 +112,13 @@ func NewPacketSim(s *collective.Schedule, cfg Config) (*PacketSim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	flt, err := faults.Compile(cfg.Faults, s.Topo)
+	if err != nil {
+		return nil, err
+	}
 	p := &PacketSim{}
 	p.ps.init(s, cfg)
+	p.ps.flt = flt
 	return p, nil
 }
 
@@ -126,11 +134,70 @@ func (p *PacketSim) Run() (*Result, error) {
 	ps.seed()
 	ps.eng.Run()
 	if ps.done != len(ps.s.Transfers) {
-		return nil, fmt.Errorf("network: packet simulation stalled with %d/%d transfers done (%s on %s)",
-			ps.done, len(ps.s.Transfers), ps.s.Algorithm, ps.s.Topo.Name())
+		return nil, ps.stallError()
 	}
 	ps.res.Cycles = ps.eng.Now()
 	return ps.res, nil
+}
+
+// stallError describes why the event queue drained with transfers
+// outstanding: the overall counts, the first few blocked transfers with
+// their unmet dependencies (or the failed link stranding their packets,
+// or the closed step gate), and under lockstep the first stuck
+// node/step.
+func (ps *packetSim) stallError() error {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "network: packet simulation stalled with %d/%d transfers done (%s on %s)",
+		ps.done, len(ps.s.Transfers), ps.s.Algorithm, ps.s.Topo.Name())
+	const maxList = 3
+	listed, blocked := 0, 0
+	for id := range ps.s.Transfers {
+		if ps.doneT[id] {
+			continue
+		}
+		blocked++
+		if listed == maxList {
+			continue
+		}
+		listed++
+		switch {
+		case ps.depsLeft[id] > 0:
+			fmt.Fprintf(&sb, "; t%d waiting on", id)
+			for _, d := range ps.s.Transfers[id].Deps {
+				if !ps.doneT[d] {
+					fmt.Fprintf(&sb, " t%d", d)
+				}
+			}
+		case ps.pktsLeft[id] > 0:
+			fmt.Fprintf(&sb, "; t%d has %d packet(s) stranded", id, ps.pktsLeft[id])
+			if ps.flt != nil {
+				for _, l := range ps.paths[id] {
+					if at, down := ps.flt.DownAt(l); down && at <= ps.eng.Now() {
+						lk := ps.s.Topo.Link(l)
+						fmt.Fprintf(&sb, " at failed link %s->%s",
+							ps.s.Topo.VertexName(lk.Src), ps.s.Topo.VertexName(lk.Dst))
+						break
+					}
+				}
+			}
+		default:
+			fmt.Fprintf(&sb, "; t%d ready, step %d gate closed at node %d",
+				id, ps.s.Transfers[id].Step, ps.s.Transfers[id].Src)
+		}
+	}
+	if blocked > listed {
+		fmt.Fprintf(&sb, "; and %d more", blocked-listed)
+	}
+	if ps.lockstep {
+		for node := range ps.clocks {
+			c := &ps.clocks[node]
+			if c.idx < len(c.steps) {
+				fmt.Fprintf(&sb, "; node %d stuck at step %d", node, c.steps[c.idx])
+				break
+			}
+		}
+	}
+	return fmt.Errorf("%s", sb.String())
 }
 
 type packetSim struct {
@@ -139,12 +206,14 @@ type packetSim struct {
 	eng sim.Engine
 	res *Result
 	tr  obs.Tracer
+	flt *faults.Compiled
 
 	depsLeft []int
 	succ     [][]int32
 	paths    [][]topology.LinkID // per transfer, resolved once
 	pktsLeft []int               // packets not yet delivered, per transfer
 	toInject []int               // packets not yet across the first link, per transfer
+	doneT    []bool              // per transfer, for stall diagnostics
 	done     int
 
 	// payloadTotal/wireTotal are computed once and restored on reset.
@@ -196,6 +265,7 @@ func (ps *packetSim) init(s *collective.Schedule, cfg Config) {
 	ps.paths = make([][]topology.LinkID, n)
 	ps.pktsLeft = make([]int, n)
 	ps.toInject = make([]int, n)
+	ps.doneT = make([]bool, n)
 	ps.linkBusy = make([]bool, nl)
 	ps.linkQueue = make([]pktRing, nl)
 	ps.bufFree = make([]int64, nl)
@@ -261,6 +331,7 @@ func (ps *packetSim) reset() {
 		ps.depsLeft[i] = len(s.Transfers[i].Deps)
 		ps.pktsLeft[i] = 0
 		ps.toInject[i] = 0
+		ps.doneT[i] = false
 		ps.res.TransferDone[i] = 0
 	}
 	for l := range ps.bufFree {
@@ -293,6 +364,21 @@ func (ps *packetSim) dispatch(kind sim.Kind, a, b int32) {
 		ps.enterStep(int(a))
 	case evDelivered:
 		ps.delivered(a)
+	case evLinkFault:
+		ch := ps.flt.Changes()[a]
+		if ps.tr != nil {
+			scale := ch.BWScale
+			if ch.Down {
+				scale = 0
+			}
+			ps.tr.Emit(obs.Event{
+				Kind: obs.EvLinkFault, At: float64(ps.eng.Now()),
+				Link: int32(ch.Link), Busy: scale, Dur: float64(ch.AddLatency),
+			})
+		}
+		// Nothing to re-arm: serialization rates are sampled when a packet
+		// starts crossing, and a link that just died strands its queue
+		// (tryTransmit refuses), which the post-run stall check reports.
 	}
 }
 
@@ -316,9 +402,16 @@ func (ps *packetSim) freePacket(i int32) {
 	ps.freeHead = i
 }
 
-// seed enters every sending node's first step and releases dependency-free
-// transfers at cycle 0.
+// seed enters every sending node's first step, schedules fault
+// activations, and releases dependency-free transfers at cycle 0.
 func (ps *packetSim) seed() {
+	if ps.flt != nil {
+		// Scheduled here rather than in init so a reused PacketSim re-arms
+		// the fault timeline on every Run.
+		for i, ch := range ps.flt.Changes() {
+			ps.eng.ScheduleKind(ch.At, evLinkFault, int32(i), 0)
+		}
+	}
 	if ps.lockstep {
 		for node := range ps.clocks {
 			c := &ps.clocks[node]
@@ -415,6 +508,11 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 	if ps.linkBusy[l] || ps.linkQueue[l].len() == 0 {
 		return
 	}
+	if ps.flt != nil {
+		if at, down := ps.flt.DownAt(l); down && at <= ps.eng.Now() {
+			return // link died; its queue is stranded and the run will stall
+		}
+	}
 	pi := ps.linkQueue[l].front()
 	p := &ps.pkts[pi]
 	lastHop := int(p.hop) == len(p.path)-1
@@ -440,7 +538,11 @@ func (ps *packetSim) tryTransmit(l topology.LinkID) {
 	}
 	ps.linkBusy[l] = true
 	link := ps.s.Topo.Link(l)
-	ser := sim.Time(math.Ceil(float64(p.wire) / link.Bandwidth))
+	bw := link.Bandwidth
+	if ps.flt != nil {
+		bw = ps.flt.Bandwidth(l, bw, float64(ps.eng.Now()))
+	}
+	ser := sim.Time(math.Ceil(float64(p.wire) / bw))
 	ps.res.LinkBusy[l] += ser
 	if ps.tr != nil {
 		t := &ps.s.Transfers[p.transfer]
@@ -469,7 +571,11 @@ func (ps *packetSim) serDone(pi int32, l topology.LinkID) {
 		}
 	}
 	ps.tryTransmit(l)
-	ps.eng.AfterKind(ps.s.Topo.Link(l).Latency, evArrive, pi, 0)
+	lat := ps.s.Topo.Link(l).Latency
+	if ps.flt != nil {
+		lat += ps.flt.ExtraLatency(l, float64(ps.eng.Now()))
+	}
+	ps.eng.AfterKind(lat, evArrive, pi, 0)
 }
 
 // arrive handles a packet reaching the downstream end of its current link.
@@ -495,6 +601,7 @@ func (ps *packetSim) arrive(pi int32) {
 // delivered marks a transfer complete and releases its dependents.
 func (ps *packetSim) delivered(id int32) {
 	ps.res.TransferDone[id] = ps.eng.Now()
+	ps.doneT[id] = true
 	ps.done++
 	if ps.tr != nil {
 		t := &ps.s.Transfers[id]

@@ -147,6 +147,18 @@ func WriteChromeTrace(w io.Writer, meta TraceMeta, events []Event) error {
 			add(machineInstant(fmt.Sprintf("dep-clear f%d", ev.Flow), ev))
 		case EvNILockstep:
 			add(machineInstant(fmt.Sprintf("nop s%d", ev.Step), ev))
+		case EvLinkFault:
+			name := fmt.Sprintf("fault bw x%g", ev.Busy)
+			if ev.Busy == 0 {
+				name = "fault: link down"
+			} else if ev.Dur > 0 && ev.Busy == 1 {
+				name = fmt.Sprintf("fault lat +%g", ev.Dur)
+			}
+			add(chromeEvent{
+				Name: name, Ph: "i", S: "t", Ts: ev.At * usPerCycle,
+				Pid: pidLinks, Tid: int(ev.Link),
+				Args: map[string]any{"bw_scale": ev.Busy, "added_latency": ev.Dur},
+			})
 		}
 	}
 

@@ -71,6 +71,13 @@ const (
 	// EvNILockstep fires when the machine's lockstep down-counter elapses
 	// a NOP entry.
 	EvNILockstep
+
+	// EvLinkFault fires when an injected fault activates on a link
+	// (network.Config.Faults): Link is the affected directed link, Busy
+	// the bandwidth scale now in effect (0 for a dead link), Dur the
+	// added propagation latency in cycles. Appended after the NI kinds so
+	// earlier trace digests keep their byte values.
+	EvLinkFault
 )
 
 // String names the event kind.
@@ -96,6 +103,8 @@ func (k Kind) String() string {
 		return "ni-dep-cleared"
 	case EvNILockstep:
 		return "ni-lockstep-nop"
+	case EvLinkFault:
+		return "link-fault"
 	}
 	return "unknown"
 }
