@@ -641,6 +641,86 @@ func BenchmarkTraceOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkFluidSweep_Torus8x8 times the fluid engine alone on the
+// torus-8x8 algorithm menu at the 1 MiB plateau point: schedules are
+// prebuilt outside the timer, so ns/op is pure simulation cost with no
+// schedule-construction dilution. This is the regression benchmark the
+// fluid-engine rewrite is measured by; the pre-rewrite numbers are kept
+// in results/BENCH_pr4-fluid-baseline.txt.
+func BenchmarkFluidSweep_Torus8x8(b *testing.B) {
+	topo, err := topospec.Parse("torus-8x8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, alg := range experiments.Algorithms(topo) {
+		s, err := experiments.BuildSchedule(topo, alg.Name, (1<<20)/4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := network.DefaultConfig()
+		cfg.MessageBased = alg.Msg
+		b.Run(alg.Name, func(b *testing.B) {
+			b.ReportAllocs()
+			var res *network.Result
+			for i := 0; i < b.N; i++ {
+				res, err = network.SimulateFluid(s, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "simCycles")
+			b.ReportMetric(res.BandwidthBytesPerCycle(1<<20), "GB/s")
+		})
+	}
+}
+
+// BenchmarkFluidEngineSteadyState is the fluid counterpart of
+// BenchmarkPacketEngineSteadyState: a reusable FluidSim re-simulates a
+// 16 MiB MultiTree all-reduce on an 8x8 Torus, reusing its typed event
+// heap, rate scratch arrays and link occupancy arena across runs. The
+// benchmark fails outright if the steady-state loop allocates, so an
+// accidental map, closure or slice regrowth in the rate recompute cannot
+// land silently.
+func BenchmarkFluidEngineSteadyState(b *testing.B) {
+	topo, err := topospec.Parse("torus-8x8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.Build(topo, (16<<20)/4, core.DefaultOptions(topo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, err := network.NewFluidSim(s, network.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := sim.Run() // grow every backing array to its high-water mark
+	if err != nil {
+		b.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1, func() {
+		if _, err := sim.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state event loop allocates %.1f per run, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *network.Result
+	for i := 0; i < b.N; i++ {
+		res, err = sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res.Cycles != warm.Cycles {
+		b.Fatalf("steady-state run finished in %d cycles, warm-up in %d", res.Cycles, warm.Cycles)
+	}
+	b.ReportMetric(float64(res.Cycles), "simCycles")
+	b.ReportMetric(res.BandwidthBytesPerCycle(16<<20), "GB/s")
+}
+
 // BenchmarkPacketEngineSteadyState is the zero-allocation guard for the
 // discrete-event hot path: a reusable PacketSim re-simulates a 16 MiB
 // MultiTree all-reduce on an 8x8 Torus, reusing its event heap, packet

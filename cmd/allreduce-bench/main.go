@@ -22,6 +22,11 @@
 // host wall-clock nanoseconds spent building and simulating that point,
 // so sweep runs double as simulator-throughput measurements.
 //
+// -cpuprofile and -memprofile attach runtime/pprof profiles to any mode
+// (inspect with go tool pprof), so perf work measures instead of guessing:
+//
+//	allreduce-bench -fig 9a -engine fluid -cpuprofile cpu.out
+//
 // Single-run observability mode: -algo selects one algorithm on one
 // topology and exports what the simulation did.
 //
@@ -66,6 +71,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -108,8 +114,14 @@ func main() {
 		resilience = flag.Bool("resilience", false, "sweep completion time vs failed-link count on -topo, re-planning every algorithm on both engines")
 		maxFail    = flag.Int("maxfail", 2, "resilience mode: largest failed-link count")
 		seed       = flag.Int64("seed", 42, "resilience mode: seed for the deterministic failed-link draw")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	defer stopProfiles()
 
 	switch {
 	case *resilience:
@@ -131,7 +143,45 @@ func main() {
 		runFig10()
 	default:
 		flag.Usage()
+		stopProfiles()
 		os.Exit(2)
+	}
+}
+
+// startProfiles starts CPU profiling and arranges a heap profile at exit,
+// per the requested paths. The returned stop function is idempotent; note
+// that log.Fatal error paths exit without reaching it, so profiles are
+// only written for runs that complete.
+func startProfiles(cpuPath, memPath string) (stop func()) {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // flush recent frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
 }
 

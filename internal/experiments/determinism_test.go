@@ -89,6 +89,44 @@ func TestPacketSimReuseDeterminism(t *testing.T) {
 	}
 }
 
+// TestFluidSimReuseDeterminism: the reusable FluidSim must replay the
+// identical event stream on every Run, since reset restores all pooled
+// state (typed event heap, rate scratch, occupancy arena) and the
+// epoch-stamped fill scratch never leaks stale entries across runs.
+func TestFluidSimReuseDeterminism(t *testing.T) {
+	topo, err := topospec.Parse("torus-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := BuildSchedule(topo, "multitree", (256<<10)/collective.WordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &obs.Recorder{}
+	cfg := network.DefaultConfig()
+	cfg.Tracer = rec
+	sim, err := network.NewFluidSim(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []byte
+	for run := 0; run < 3; run++ {
+		rec.Reset()
+		if _, err := sim.Run(); err != nil {
+			t.Fatal(err)
+		}
+		stream := eventStreamBytes(rec.Events)
+		if run == 0 {
+			first = append(first, stream...)
+			continue
+		}
+		if !bytes.Equal(first, stream) {
+			t.Fatalf("run %d diverged from the first run (%d vs %d bytes)",
+				run, len(stream), len(first))
+		}
+	}
+}
+
 // TestFluidEqualTimeEventOrder pins the fluid engine's total event order
 // (at, kind, id) at an exact tie: with 564-word flows on the default
 // torus links, a transfer injected alone takes 150 cycles (= estStep

@@ -1,7 +1,6 @@
 package network
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"strings"
@@ -21,6 +20,28 @@ import (
 // cut-through pipelining). Head-flit overhead inflates the on-wire volume
 // per Config.WireBytes.
 func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
+	fs, err := NewFluidSim(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Run()
+}
+
+// FluidSim is a reusable flow-level simulator for one schedule and
+// configuration, the fluid counterpart of PacketSim. Run may be called
+// repeatedly: every run resets the mutable state but keeps all backing
+// storage (typed event heap, rate scratch arrays, link occupancy arena),
+// so steady-state re-simulation performs zero heap allocations (see
+// TestFluidEngineSteadyStateAllocs). Runs are deterministic and
+// cycle-identical to each other and to a fresh SimulateFluid.
+type FluidSim struct {
+	st fluidState
+}
+
+// NewFluidSim validates the configuration and builds the immutable
+// schedule-derived state (dependency graph, per-transfer paths and wire
+// volumes, lockstep step lists, byte totals, dense per-link scratch).
+func NewFluidSim(s *collective.Schedule, cfg Config) (*FluidSim, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -28,20 +49,415 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	n := len(s.Transfers)
-	res := &Result{
-		TransferDone: make([]sim.Time, n),
-		LinkBusy:     make([]sim.Time, len(s.Topo.Links())),
+	fs := &FluidSim{}
+	fs.st.init(s, cfg, flt)
+	return fs, nil
+}
+
+// Run simulates the schedule and returns the result. The returned Result
+// is owned by the simulator and overwritten by the next Run; callers that
+// keep results across runs must copy them.
+func (fs *FluidSim) Run() (*Result, error) {
+	return fs.st.run()
+}
+
+// fluidFlow is the per-transfer simulation state.
+type fluidFlow struct {
+	path    []topology.LinkID
+	wire    float64 // total on-wire bytes
+	rem     float64 // bytes not yet injected
+	rate    float64
+	latency float64 // path latency in cycles
+	start   float64 // activation time, for trace spans
+
+	step     int32 // lockstep step, cached from the transfer
+	depsLeft int
+	state    flowState
+}
+
+type flowState uint8
+
+const (
+	fsWaiting  flowState = iota // deps or node step pending
+	fsActive                    // injecting
+	fsInFlight                  // injected, traversing the path
+	fsDone
+)
+
+// timedEvent is a transfer arrival (delivery), a node step entry, or a
+// fault activation.
+type timedEvent struct {
+	at   float64
+	kind uint8 // tevArrival, tevStepEntry or tevFault
+	id   int   // transfer id, node id, or fault-change index
+}
+
+const (
+	tevArrival   = iota // transfer delivery at its destination
+	tevStepEntry        // deferred lockstep step entry
+	tevFault            // fault activation (Config.Faults)
+)
+
+// tevLess is a total order (at, kind, id), not just by time: a heap gives
+// equal keys an unspecified pop order, so ties must be broken for runs to
+// be bit-identical. Arrivals sort before step entries at the same instant
+// deliberately — a delivery at time t clears its dependents' dependencies
+// before any step gate opening at t scans for releasable transfers,
+// matching the packet engine, where the (at, seq) core fires the
+// earlier-scheduled arrival first. Fault activations come last so rate
+// changes never retroactively affect a same-instant delivery.
+func tevLess(a, b timedEvent) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.id < b.id
+}
+
+// tevHeap is a value-based 4-ary min-heap of timed events, mirroring
+// internal/sim's engine heap: no container/heap interface, no `any`
+// boxing, backing array reused across runs via reset. Because tevLess is
+// a strict total order, the pop sequence is the fully sorted event order
+// regardless of heap arity — bit-identical to the container/heap
+// implementation it replaces.
+type tevHeap struct {
+	ev []timedEvent
+}
+
+func (h *tevHeap) len() int { return len(h.ev) }
+func (h *tevHeap) reset()   { h.ev = h.ev[:0] }
+
+func (h *tevHeap) push(e timedEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !tevLess(h.ev[i], h.ev[p]) {
+			break
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+func (h *tevHeap) pop() timedEvent {
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *tevHeap) siftDown(i int) {
+	n := len(h.ev)
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			return
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if tevLess(h.ev[j], h.ev[best]) {
+				best = j
+			}
+		}
+		if !tevLess(h.ev[best], h.ev[i]) {
+			return
+		}
+		h.ev[i], h.ev[best] = h.ev[best], h.ev[i]
+		i = best
+	}
+}
+
+// nodeClock tracks one node's lockstep progress through its active steps.
+type nodeClock struct {
+	steps   []int // sorted distinct steps at which the node sends
+	stepCnt []int // sends per entry of steps, precomputed in init
+	idx     int   // index of the current active step; len(steps) when done
+	entered bool  // node has entered steps[idx]
+	pending int   // not-yet-injected sends in the current step
+	entry   float64
+	injEnd  float64 // completion time of the slowest injection this step
+}
+
+// occNode is one (flow, link) occupancy in the intrusive per-link lists
+// that back the incremental rate registers. Nodes live in fluidState.occ
+// and are identified by index; prev/next thread the link's list,
+// nextInFlow chains one flow's occupancies (and the arena free list).
+type occNode struct {
+	flow       int32
+	link       int32
+	prev, next int32
+	nextInFlow int32
+}
+
+type fluidState struct {
+	s   *collective.Schedule
+	cfg Config
+	tr  obs.Tracer
+	flt *faults.Compiled
+	now float64
+
+	flows  []fluidFlow
+	succ   [][]int32
+	busy   []float64 // fractional busy time per link, rounded once at report
+	linkBW []float64 // base link bandwidths, cached from the topology
+
+	active     []int32 // indices of fsActive flows
+	ready      []int32 // deps satisfied, waiting to activate (step gate)
+	still      []int32 // activateReady scratch, ping-ponged with ready
+	ratesDirty bool
+	done       int
+
+	events tevHeap
+
+	lockstep bool
+	estStep  float64
+	clocks   []nodeClock
+	sends    [][]int32 // per node: transfer ids it sends, sorted by (step, id)
+
+	res          *Result
+	payloadTotal int64
+	wireTotal    int64
+
+	// Incremental rate registers, maintained on flow activate/retire:
+	// cnt[l] counts path occurrences of active flows on link l and
+	// minStep[l] is the minimum lockstep step among them (valid only when
+	// cnt[l] > 0), kept exact by rescanning l's occupancy list when its
+	// minimum-step flow retires. They replace the per-recompute
+	// map[LinkID]int the step-priority filter used to rebuild.
+	cnt     []int32
+	minStep []int32
+	occ     []occNode
+	occFree int32   // head of the occNode free list; -1 when empty
+	occHead []int32 // per link: head of its occupancy list; -1 when empty
+	flowOcc []int32 // per flow: head of its occupancy chain; -1 when none
+
+	// Flows activated/retired since the last rate assignment, consumed by
+	// tryRateReuse; both survive recomputes that see no active flows so
+	// the step-boundary drain/refill pattern can pair up across them.
+	pendingNew     []int32
+	pendingRetired []int32
+
+	// Progressive-filling scratch, epoch-stamped instead of cleared:
+	// fillEpoch[l] == epoch marks remCap/fillCnt[l] as initialized for
+	// the current fill, and touched lists exactly those links.
+	epoch     uint64
+	fillEpoch []uint64
+	remCap    []float64
+	fillCnt   []int32
+	touched   []int32
+	eligible  []int32
+	frozen    []bool
+
+	// Retiree-matching scratch for tryRateReuse, epoch-stamped like the
+	// fill scratch: matchStamp[l] == matchEpoch means matchFlow[l] is the
+	// pending retiree whose path starts at link l.
+	matchEpoch uint64
+	matchStamp []uint64
+	matchFlow  []int32
+
+	noIncremental bool // test knob: force full progressive filling
+	reuseHits     int  // fills skipped by tryRateReuse this run, for tests
+}
+
+const fluidEps = 1e-6
+
+// newFluidState builds a fully seeded state, equivalent to what a fresh
+// Run observes right before its event loop. Kept as an entry point for
+// white-box tests.
+func newFluidState(s *collective.Schedule, cfg Config, flt *faults.Compiled) *fluidState {
+	st := &fluidState{}
+	st.init(s, cfg, flt)
+	st.reset()
+	st.seed()
+	return st
+}
+
+// init builds the immutable schedule-derived state. Everything here is
+// computed once per FluidSim and only read by run/reset/seed.
+func (st *fluidState) init(s *collective.Schedule, cfg Config, flt *faults.Compiled) {
+	n := len(s.Transfers)
+	nLinks := len(s.Topo.Links())
+	st.s, st.cfg, st.tr, st.flt = s, cfg, cfg.Tracer, flt
+	st.lockstep = cfg.Lockstep
+	st.flows = make([]fluidFlow, n)
+	st.succ = make([][]int32, n)
+	st.busy = make([]float64, nLinks)
+	st.cnt = make([]int32, nLinks)
+	st.minStep = make([]int32, nLinks)
+	st.occHead = make([]int32, nLinks)
+	st.flowOcc = make([]int32, n)
+	st.fillEpoch = make([]uint64, nLinks)
+	st.remCap = make([]float64, nLinks)
+	st.fillCnt = make([]int32, nLinks)
+	st.matchStamp = make([]uint64, nLinks)
+	st.matchFlow = make([]int32, nLinks)
+	st.res = &Result{
+		TransferDone: make([]sim.Time, n),
+		LinkBusy:     make([]sim.Time, nLinks),
+	}
+
+	st.linkBW = make([]float64, nLinks)
+	maxWire, minBW := 0.0, math.Inf(1)
+	for i, l := range s.Topo.Links() {
+		st.linkBW[i] = l.Bandwidth
+		if l.Bandwidth < minBW {
+			minBW = l.Bandwidth
+		}
+	}
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		f := &st.flows[i]
+		f.path = s.PathOf(t)
+		f.wire = float64(cfg.WireBytes(s.Bytes(t)))
+		f.latency = float64(s.Topo.PathLatency(f.path))
+		f.step = int32(t.Step)
+		for _, d := range t.Deps {
+			st.succ[d] = append(st.succ[d], int32(i))
+		}
+		if f.wire > maxWire {
+			maxWire = f.wire
+		}
+		st.payloadTotal += s.Bytes(t)
+		st.wireTotal += int64(f.wire)
+	}
+	st.estStep = maxWire / minBW
+
+	if st.lockstep {
+		nNodes := s.Topo.Nodes()
+		st.clocks = make([]nodeClock, nNodes)
+		st.sends = make([][]int32, nNodes)
+		for i := range s.Transfers {
+			src := int(s.Transfers[i].Src)
+			st.sends[src] = append(st.sends[src], int32(i))
+		}
+		for node := range st.sends {
+			ids := st.sends[node]
+			// Stable sort by (step, id); transfers were appended in id
+			// order, so an insertion sort on step keeps id order.
+			for i := 1; i < len(ids); i++ {
+				for j := i; j > 0 && s.Transfers[ids[j]].Step < s.Transfers[ids[j-1]].Step; j-- {
+					ids[j], ids[j-1] = ids[j-1], ids[j]
+				}
+			}
+			c := &st.clocks[node]
+			last := -1
+			for _, id := range ids {
+				if step := s.Transfers[id].Step; step != last {
+					c.steps = append(c.steps, step)
+					c.stepCnt = append(c.stepCnt, 0)
+					last = step
+				}
+				c.stepCnt[len(c.stepCnt)-1]++
+			}
+		}
+	}
+}
+
+// reset restores the mutable state for a fresh deterministic run while
+// keeping every backing array at its high-water capacity. The fill and
+// match epochs deliberately survive: their stamp arrays hold stale epochs
+// that simply never match again.
+func (st *fluidState) reset() {
+	st.now = 0
+	st.done = 0
+	st.ratesDirty = false
+	st.reuseHits = 0
+	for i := range st.flows {
+		f := &st.flows[i]
+		f.rem = f.wire
+		f.rate = 0
+		f.start = 0
+		f.depsLeft = len(st.s.Transfers[i].Deps)
+		f.state = fsWaiting
+	}
+	for i := range st.busy {
+		st.busy[i] = 0
+	}
+	st.active = st.active[:0]
+	st.ready = st.ready[:0]
+	st.still = st.still[:0]
+	st.events.reset()
+	st.pendingNew = st.pendingNew[:0]
+	st.pendingRetired = st.pendingRetired[:0]
+	st.occ = st.occ[:0]
+	st.occFree = -1
+	for i := range st.occHead {
+		st.occHead[i] = -1
+		st.cnt[i] = 0
+	}
+	for i := range st.flowOcc {
+		st.flowOcc[i] = -1
+	}
+	for node := range st.clocks {
+		c := &st.clocks[node]
+		c.idx, c.entered, c.pending = 0, false, 0
+		c.entry, c.injEnd = 0, 0
+	}
+	st.res.Cycles = 0
+	st.res.PayloadBytes = st.payloadTotal
+	st.res.WireBytes = st.wireTotal
+	for i := range st.res.TransferDone {
+		st.res.TransferDone[i] = 0
+	}
+	for i := range st.res.LinkBusy {
+		st.res.LinkBusy[i] = 0
+	}
+}
+
+// seed arms the fault timeline, enters each node's first lockstep step
+// (leading NOPs stall like any other gap, §IV-A: a node whose first send
+// is at step s waits s-1 estimated steps, keeping all nodes' step clocks
+// aligned without global synchronization), releases dependency-free
+// transfers and computes the initial rates.
+func (st *fluidState) seed() {
+	if st.flt != nil {
+		for i, ch := range st.flt.Changes() {
+			st.events.push(timedEvent{at: float64(ch.At), kind: tevFault, id: i})
+		}
+	}
+	if st.lockstep {
+		for node := range st.clocks {
+			if c := &st.clocks[node]; len(c.steps) > 0 {
+				st.enterStep(node, float64(c.steps[0]-1)*st.estStep)
+			}
+		}
+	}
+	for i := range st.flows {
+		if st.flows[i].depsLeft == 0 {
+			st.ready = append(st.ready, int32(i))
+			if st.tr != nil {
+				st.tr.Emit(obs.Event{
+					Kind: obs.EvTransferReady, At: 0, Transfer: int32(i),
+					Node: int32(st.s.Transfers[i].Src),
+					Flow: int32(st.s.Transfers[i].Flow), Step: int32(st.s.Transfers[i].Step),
+				})
+			}
+		}
+	}
+	st.activateReady()
+	st.recomputeRates()
+}
+
+// run is the engine's event loop, shared by SimulateFluid and FluidSim.
+func (st *fluidState) run() (*Result, error) {
+	st.reset()
+	res := st.res
+	n := len(st.flows)
 	if n == 0 {
 		return res, nil
 	}
-
-	st := newFluidState(s, cfg, flt)
-	for i := range st.flows {
-		res.PayloadBytes += s.Bytes(&s.Transfers[i])
-		res.WireBytes += int64(st.flows[i].wire)
-	}
+	st.seed()
 
 	for st.done < n {
 		tNext := st.nextEventTime()
@@ -70,198 +486,6 @@ func SimulateFluid(s *collective.Schedule, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// fluidFlow is the per-transfer simulation state.
-type fluidFlow struct {
-	path    []topology.LinkID
-	wire    float64 // total on-wire bytes
-	rem     float64 // bytes not yet injected
-	rate    float64
-	latency float64 // path latency in cycles
-	start   float64 // activation time, for trace spans
-
-	depsLeft int
-	state    flowState
-}
-
-type flowState uint8
-
-const (
-	fsWaiting  flowState = iota // deps or node step pending
-	fsActive                    // injecting
-	fsInFlight                  // injected, traversing the path
-	fsDone
-)
-
-// timedEvent is a transfer arrival (delivery), a node step entry, or a
-// fault activation.
-type timedEvent struct {
-	at   float64
-	kind uint8 // tevArrival, tevStepEntry or tevFault
-	id   int   // transfer id, node id, or fault-change index
-}
-
-const (
-	tevArrival   = iota // transfer delivery at its destination
-	tevStepEntry        // deferred lockstep step entry
-	tevFault            // fault activation (Config.Faults)
-)
-
-type eventHeap []timedEvent
-
-func (h eventHeap) Len() int { return len(h) }
-
-// Less is a total order (at, kind, id), not just by time: container/heap
-// gives equal keys an unspecified pop order, so ties must be broken for
-// runs to be bit-identical. Arrivals sort before step entries at the same
-// instant deliberately — a delivery at time t clears its dependents'
-// dependencies before any step gate opening at t scans for releasable
-// transfers, matching the packet engine, where the (at, seq) core fires
-// the earlier-scheduled arrival first. Fault activations come last so
-// rate changes never retroactively affect a same-instant delivery.
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	if h[i].kind != h[j].kind {
-		return h[i].kind < h[j].kind
-	}
-	return h[i].id < h[j].id
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(timedEvent)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	v := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return v
-}
-
-// nodeClock tracks one node's lockstep progress through its active steps.
-type nodeClock struct {
-	steps   []int // sorted distinct steps at which the node sends
-	idx     int   // index of the current active step; len(steps) when done
-	entered bool  // node has entered steps[idx]
-	pending int   // not-yet-injected sends in the current step
-	entry   float64
-	injEnd  float64 // completion time of the slowest injection this step
-}
-
-type fluidState struct {
-	s   *collective.Schedule
-	cfg Config
-	tr  obs.Tracer
-	flt *faults.Compiled
-	now float64
-
-	flows []fluidFlow
-	succ  [][]int32
-	busy  []float64 // fractional busy time per link, rounded once at report
-
-	active     []int32 // indices of fsActive flows
-	ready      []int32 // deps satisfied, waiting to activate (step gate)
-	ratesDirty bool
-	done       int
-
-	events eventHeap
-
-	lockstep bool
-	estStep  float64
-	clocks   []nodeClock
-	sends    [][]int32 // per node: transfer ids it sends, sorted by (step, id)
-}
-
-const fluidEps = 1e-6
-
-func newFluidState(s *collective.Schedule, cfg Config, flt *faults.Compiled) *fluidState {
-	n := len(s.Transfers)
-	st := &fluidState{
-		s: s, cfg: cfg, tr: cfg.Tracer, flt: flt,
-		flows:    make([]fluidFlow, n),
-		succ:     make([][]int32, n),
-		busy:     make([]float64, len(s.Topo.Links())),
-		lockstep: cfg.Lockstep,
-	}
-	if flt != nil {
-		for i, ch := range flt.Changes() {
-			heap.Push(&st.events, timedEvent{at: float64(ch.At), kind: tevFault, id: i})
-		}
-	}
-	maxWire, minBW := 0.0, math.Inf(1)
-	for _, l := range s.Topo.Links() {
-		if l.Bandwidth < minBW {
-			minBW = l.Bandwidth
-		}
-	}
-	for i := range s.Transfers {
-		t := &s.Transfers[i]
-		f := &st.flows[i]
-		f.path = s.PathOf(t)
-		f.wire = float64(cfg.WireBytes(s.Bytes(t)))
-		f.rem = f.wire
-		f.latency = float64(s.Topo.PathLatency(f.path))
-		f.depsLeft = len(t.Deps)
-		for _, d := range t.Deps {
-			st.succ[d] = append(st.succ[d], int32(i))
-		}
-		if f.wire > maxWire {
-			maxWire = f.wire
-		}
-	}
-	st.estStep = maxWire / minBW
-
-	if st.lockstep {
-		nNodes := s.Topo.Nodes()
-		st.clocks = make([]nodeClock, nNodes)
-		st.sends = make([][]int32, nNodes)
-		for i := range s.Transfers {
-			src := int(s.Transfers[i].Src)
-			st.sends[src] = append(st.sends[src], int32(i))
-		}
-		for node := range st.sends {
-			ids := st.sends[node]
-			// Stable sort by (step, id); transfers were appended in id
-			// order, so an insertion sort on step keeps id order.
-			for i := 1; i < len(ids); i++ {
-				for j := i; j > 0 && s.Transfers[ids[j]].Step < s.Transfers[ids[j-1]].Step; j-- {
-					ids[j], ids[j-1] = ids[j-1], ids[j]
-				}
-			}
-			c := &st.clocks[node]
-			last := -1
-			for _, id := range ids {
-				if step := s.Transfers[id].Step; step != last {
-					c.steps = append(c.steps, step)
-					last = step
-				}
-			}
-			if len(c.steps) > 0 {
-				// Leading NOPs stall like any other gap (§IV-A): a node
-				// whose first send is at step s waits s-1 estimated steps,
-				// keeping all nodes' step clocks aligned without global
-				// synchronization.
-				st.enterStep(node, float64(c.steps[0]-1)*st.estStep)
-			}
-		}
-	}
-
-	// Seed: transfers with no deps become ready.
-	for i := range st.flows {
-		if st.flows[i].depsLeft == 0 {
-			st.ready = append(st.ready, int32(i))
-			if st.tr != nil {
-				st.tr.Emit(obs.Event{
-					Kind: obs.EvTransferReady, At: 0, Transfer: int32(i),
-					Node: int32(s.Transfers[i].Src),
-					Flow: int32(s.Transfers[i].Flow), Step: int32(s.Transfers[i].Step),
-				})
-			}
-		}
-	}
-	st.activateReady()
-	st.recomputeRates()
-	return st
-}
-
 // enterStep moves node into its next active step. NOP gaps between the
 // previous and next active step each stall the estimated step time
 // (§IV-A); the entry may therefore land in the future, in which case a
@@ -273,7 +497,7 @@ func (st *fluidState) enterStep(node int, at float64) {
 	}
 	if at > st.now+fluidEps {
 		c.entered = false
-		heap.Push(&st.events, timedEvent{at: at, kind: tevStepEntry, id: node})
+		st.events.push(timedEvent{at: at, kind: tevStepEntry, id: node})
 		return
 	}
 	c.entered = true
@@ -285,12 +509,7 @@ func (st *fluidState) enterStep(node int, at float64) {
 			Kind: obs.EvStepEnter, At: st.now, Node: int32(node), Step: int32(step),
 		})
 	}
-	c.pending = 0
-	for _, id := range st.sends[node] {
-		if st.s.Transfers[id].Step == step {
-			c.pending++
-		}
-	}
+	c.pending = c.stepCnt[c.idx]
 }
 
 // stepGateOpen reports whether lockstep permits transfer id to inject now.
@@ -304,12 +523,14 @@ func (st *fluidState) stepGateOpen(id int32) bool {
 }
 
 // activateReady promotes ready transfers whose step gate is open into
-// active flows (or, for zero-byte flows, straight to in-flight).
+// active flows (or, for zero-byte flows, straight to in-flight). The
+// not-yet-releasable remainder is kept in a scratch slice ping-ponged
+// with ready so the filter allocates nothing in steady state.
 func (st *fluidState) activateReady() {
 	if len(st.ready) == 0 {
 		return
 	}
-	var still []int32
+	still := st.still[:0]
 	for _, id := range st.ready {
 		if !st.stepGateOpen(id) {
 			still = append(still, id)
@@ -332,9 +553,83 @@ func (st *fluidState) activateReady() {
 		}
 		f.state = fsActive
 		st.active = append(st.active, id)
+		st.activateFlow(id)
+		st.pendingNew = append(st.pendingNew, id)
 		st.ratesDirty = true
 	}
+	old := st.ready
 	st.ready = still
+	st.still = old[:0]
+}
+
+// allocOcc pops a free occupancy node or grows the arena.
+func (st *fluidState) allocOcc() int32 {
+	if ni := st.occFree; ni >= 0 {
+		st.occFree = st.occ[ni].nextInFlow
+		return ni
+	}
+	st.occ = append(st.occ, occNode{})
+	return int32(len(st.occ) - 1)
+}
+
+// activateFlow registers flow id's path in the per-link occupancy lists
+// and updates the cnt/minStep registers in O(path length).
+func (st *fluidState) activateFlow(id int32) {
+	f := &st.flows[id]
+	head := int32(-1)
+	for _, l := range f.path {
+		ni := st.allocOcc()
+		n := &st.occ[ni]
+		n.flow, n.link = id, int32(l)
+		n.prev, n.next = -1, st.occHead[l]
+		if n.next >= 0 {
+			st.occ[n.next].prev = ni
+		}
+		st.occHead[l] = ni
+		if st.cnt[l] == 0 || f.step < st.minStep[l] {
+			st.minStep[l] = f.step
+		}
+		st.cnt[l]++
+		n.nextInFlow = head
+		head = ni
+	}
+	st.flowOcc[id] = head
+}
+
+// retireFlow removes flow id from the occupancy lists. When the retiring
+// flow carried a link's minimum step, the link's remaining occupants are
+// rescanned for the new minimum — the only super-constant step, bounded
+// by that link's concurrent-flow count.
+func (st *fluidState) retireFlow(id int32) {
+	f := &st.flows[id]
+	ni := st.flowOcc[id]
+	for ni >= 0 {
+		n := &st.occ[ni]
+		l := n.link
+		if n.prev >= 0 {
+			st.occ[n.prev].next = n.next
+		} else {
+			st.occHead[l] = n.next
+		}
+		if n.next >= 0 {
+			st.occ[n.next].prev = n.prev
+		}
+		st.cnt[l]--
+		if st.cnt[l] > 0 && f.step == st.minStep[l] {
+			m := int32(math.MaxInt32)
+			for j := st.occHead[l]; j >= 0; j = st.occ[j].next {
+				if s := st.flows[st.occ[j].flow].step; s < m {
+					m = s
+				}
+			}
+			st.minStep[l] = m
+		}
+		next := n.nextInFlow
+		n.nextInFlow = st.occFree
+		st.occFree = ni
+		ni = next
+	}
+	st.flowOcc[id] = -1
 }
 
 // injected handles a flow whose last byte left the source: schedule its
@@ -348,7 +643,7 @@ func (st *fluidState) injected(id int32) {
 			lat += float64(st.flt.ExtraLatency(l, st.now))
 		}
 	}
-	heap.Push(&st.events, timedEvent{at: st.now + lat, kind: tevArrival, id: int(id)})
+	st.events.push(timedEvent{at: st.now + lat, kind: tevArrival, id: int(id)})
 	if !st.lockstep {
 		return
 	}
@@ -388,8 +683,8 @@ func (st *fluidState) nextEventTime() float64 {
 			}
 		}
 	}
-	if len(st.events) > 0 && st.events[0].at < t {
-		t = st.events[0].at
+	if st.events.len() > 0 && st.events.ev[0].at < t {
+		t = st.events.ev[0].at
 	}
 	return t
 }
@@ -433,6 +728,8 @@ func (st *fluidState) processInjections(res *Result) {
 					})
 				}
 			}
+			st.retireFlow(id)
+			st.pendingRetired = append(st.pendingRetired, id)
 			st.injected(id)
 			st.ratesDirty = true
 		} else {
@@ -444,8 +741,8 @@ func (st *fluidState) processInjections(res *Result) {
 
 // processTimed fires due arrivals and node step entries.
 func (st *fluidState) processTimed(res *Result) {
-	for len(st.events) > 0 && st.events[0].at <= st.now+fluidEps {
-		ev := heap.Pop(&st.events).(timedEvent)
+	for st.events.len() > 0 && st.events.ev[0].at <= st.now+fluidEps {
+		ev := st.events.pop()
 		switch ev.kind {
 		case tevArrival: // delivery at destination
 			id := int32(ev.id)
@@ -499,7 +796,7 @@ func (st *fluidState) processTimed(res *Result) {
 // accounting only when a flow somehow finished on it the very instant it
 // died; rate allocation uses linkCap, which reports 0.
 func (st *fluidState) effBW(l topology.LinkID) float64 {
-	base := st.s.Topo.Link(l).Bandwidth
+	base := st.linkBW[l]
 	if st.flt == nil {
 		return base
 	}
@@ -511,7 +808,7 @@ func (st *fluidState) effBW(l topology.LinkID) float64 {
 
 // linkCap is link l's capacity for rate allocation: 0 once the link died.
 func (st *fluidState) linkCap(l topology.LinkID) float64 {
-	base := st.s.Topo.Link(l).Bandwidth
+	base := st.linkBW[l]
 	if st.flt == nil {
 		return base
 	}
@@ -584,65 +881,155 @@ func (st *fluidState) stallError() error {
 // serve the earliest-step message first, like the FIFO/priority arbiters
 // of a real router), a flow sharing any link with an earlier-step flow
 // waits at rate 0; the remaining flows share max-min fairly via
-// progressive filling.
+// progressive filling. The step filter reads the incrementally maintained
+// minStep registers, and the fill itself is skipped entirely when
+// tryRateReuse proves the active set's link footprint unchanged since the
+// last fill — the common case between pipelined same-shape steps.
 func (st *fluidState) recomputeRates() {
 	st.ratesDirty = false
 	if len(st.active) == 0 {
 		return
 	}
-	eligible := st.active
+	eligible := st.eligible[:0]
 	if st.cfg.StepPriority {
-		// Minimal step per link among active flows.
-		minStep := map[topology.LinkID]int{}
 		for _, id := range st.active {
-			step := st.s.Transfers[id].Step
-			for _, l := range st.flows[id].path {
-				if cur, ok := minStep[l]; !ok || step < cur {
-					minStep[l] = step
-				}
-			}
-		}
-		eligible = eligible[:0:0]
-		for _, id := range st.active {
-			step := st.s.Transfers[id].Step
+			f := &st.flows[id]
 			blocked := false
-			for _, l := range st.flows[id].path {
-				if minStep[l] < step {
+			for _, l := range f.path {
+				if st.minStep[l] < f.step {
 					blocked = true
 					break
 				}
 			}
 			if blocked {
-				st.flows[id].rate = 0
+				f.rate = 0
 			} else {
 				eligible = append(eligible, id)
 			}
 		}
+	} else {
+		eligible = append(eligible, st.active...)
 	}
-	type linkState struct {
-		remCap float64
-		count  int
+	st.eligible = eligible
+	if !st.noIncremental && st.tryRateReuse() {
+		return
 	}
-	links := map[topology.LinkID]*linkState{}
-	for _, id := range eligible {
-		st.flows[id].rate = 0
-		for _, l := range st.flows[id].path {
-			ls := links[l]
-			if ls == nil {
-				ls = &linkState{remCap: st.linkCap(l)}
-				links[l] = ls
+	st.progressiveFill(eligible)
+	st.pendingNew = st.pendingNew[:0]
+	st.pendingRetired = st.pendingRetired[:0]
+}
+
+// tryRateReuse detects the steady-state drain/refill pattern where the
+// active set's link footprint is unchanged since the last progressive
+// fill: every flow retired since then is replaced by a newly activated
+// flow with an element-wise identical path, and each such path's links
+// carry exactly one active flow (the replacement itself). Under those
+// conditions — and with no fault plan that could have moved link
+// capacities between fills — a from-scratch fill would see bit-identical
+// link capacities, per-link flow counts and freeze rounds, so every
+// replacement's rate equals its retired partner's stored rate and every
+// survivor keeps its current rate. The exclusivity requirement also
+// pins the step-priority classification: any activation or retirement
+// that could flip a survivor between blocked and eligible would put two
+// flows on a shared link and fail the cnt==1 check.
+func (st *fluidState) tryRateReuse() bool {
+	if st.flt != nil {
+		return false // fault timeline can move link capacities between fills
+	}
+	if len(st.pendingNew) == 0 || len(st.pendingNew) != len(st.pendingRetired) {
+		return false
+	}
+	st.matchEpoch++
+	me := st.matchEpoch
+	// Index the retirees by their first link; rate-carrying flows always
+	// have non-empty paths. A collision means two retirees shared a head
+	// link, which the exclusivity check below could not tell apart.
+	for _, id := range st.pendingRetired {
+		f := &st.flows[id]
+		if len(f.path) == 0 {
+			return false
+		}
+		l := f.path[0]
+		if st.matchStamp[l] == me {
+			return false
+		}
+		st.matchStamp[l] = me
+		st.matchFlow[l] = id
+	}
+	for _, id := range st.pendingNew {
+		nf := &st.flows[id]
+		if len(nf.path) == 0 {
+			return false
+		}
+		for _, l := range nf.path {
+			if st.cnt[l] != 1 {
+				return false
 			}
-			ls.count++
+		}
+		l0 := nf.path[0]
+		if st.matchStamp[l0] != me {
+			return false
+		}
+		rf := &st.flows[st.matchFlow[l0]]
+		if len(rf.path) != len(nf.path) {
+			return false
+		}
+		for k := range nf.path {
+			if rf.path[k] != nf.path[k] {
+				return false
+			}
 		}
 	}
+	// The pairing is verified: head links are distinct across the new
+	// flows (two sharing one would break cnt==1), so with equal counts
+	// every retiree is matched exactly once. Copy the rates over.
+	for _, id := range st.pendingNew {
+		nf := &st.flows[id]
+		nf.rate = st.flows[st.matchFlow[nf.path[0]]].rate
+	}
+	st.pendingNew = st.pendingNew[:0]
+	st.pendingRetired = st.pendingRetired[:0]
+	st.reuseHits++
+	return true
+}
+
+// progressiveFill runs max-min progressive filling over the eligible
+// flows using the dense epoch-stamped scratch arrays: fillEpoch marks
+// which per-link entries belong to this fill (no clearing between
+// calls), and touched lists them for the delta scans. Arithmetic is
+// identical to the map-based version it replaces — delta is a min over
+// the same values and remCap updates are the same per-link expressions —
+// so results are bit-for-bit unchanged.
+func (st *fluidState) progressiveFill(eligible []int32) {
+	st.epoch++
+	ep := st.epoch
+	touched := st.touched[:0]
+	for _, id := range eligible {
+		f := &st.flows[id]
+		f.rate = 0
+		for _, l := range f.path {
+			if st.fillEpoch[l] != ep {
+				st.fillEpoch[l] = ep
+				st.remCap[l] = st.linkCap(l)
+				st.fillCnt[l] = 0
+				touched = append(touched, int32(l))
+			}
+			st.fillCnt[l]++
+		}
+	}
+	st.touched = touched
+	frozen := st.frozen[:0]
+	for range eligible {
+		frozen = append(frozen, false)
+	}
+	st.frozen = frozen
 	unfrozen := len(eligible)
-	frozen := make([]bool, len(eligible))
 	fill := 0.0
 	for unfrozen > 0 {
 		delta := math.Inf(1)
-		for _, ls := range links {
-			if ls.count > 0 {
-				if d := ls.remCap / float64(ls.count); d < delta {
+		for _, l := range touched {
+			if st.fillCnt[l] > 0 {
+				if d := st.remCap[l] / float64(st.fillCnt[l]); d < delta {
 					delta = d
 				}
 			}
@@ -651,17 +1038,18 @@ func (st *fluidState) recomputeRates() {
 			break // active flows with no links cannot happen (wire > 0 paths are non-empty)
 		}
 		fill += delta
-		for _, ls := range links {
-			ls.remCap -= delta * float64(ls.count)
+		for _, l := range touched {
+			st.remCap[l] -= delta * float64(st.fillCnt[l])
 		}
 		progress := false
 		for i, id := range eligible {
 			if frozen[i] {
 				continue
 			}
+			f := &st.flows[id]
 			saturated := false
-			for _, l := range st.flows[id].path {
-				if links[l].remCap <= fluidEps {
+			for _, l := range f.path {
+				if st.remCap[l] <= fluidEps {
 					saturated = true
 					break
 				}
@@ -670,9 +1058,9 @@ func (st *fluidState) recomputeRates() {
 				frozen[i] = true
 				unfrozen--
 				progress = true
-				st.flows[id].rate = fill
-				for _, l := range st.flows[id].path {
-					links[l].count--
+				f.rate = fill
+				for _, l := range f.path {
+					st.fillCnt[l]--
 				}
 			}
 		}

@@ -5,11 +5,33 @@ package network
 // black-box suites only exercise indirectly through completion times.
 
 import (
+	"fmt"
+	"math"
+	"reflect"
 	"testing"
 
 	"multitree/internal/collective"
+	"multitree/internal/dbtree"
+	"multitree/internal/faults"
+	"multitree/internal/obs"
+	"multitree/internal/ring"
+	"multitree/internal/ring2d"
 	"multitree/internal/topology"
 )
+
+// buildRegistry constructs a named algorithm's schedule without pulling
+// the registry package into the engine's test build.
+func buildRegistry(topo *topology.Topology, alg string, elems int) (*collective.Schedule, error) {
+	switch alg {
+	case "ring":
+		return ring.Build(topo, elems), nil
+	case "dbtree":
+		return dbtree.Build(topo, elems, 4)
+	case "2d-ring":
+		return ring2d.Build(topo, elems)
+	}
+	return nil, fmt.Errorf("unknown algorithm %q", alg)
+}
 
 func fluidTorus() *topology.Topology {
 	return topology.Torus(4, 4, topology.DefaultLinkConfig())
@@ -37,7 +59,7 @@ func TestFluidDeferredStepEntry(t *testing.T) {
 	// The deferral is a tevStepEntry heap event at (3-1)*estStep.
 	want := 2 * st.estStep
 	found := false
-	for _, ev := range st.events {
+	for _, ev := range st.events.ev {
 		if ev.kind == tevStepEntry && ev.id == 0 {
 			found = true
 			if ev.at != want {
@@ -86,5 +108,259 @@ func TestFluidStepPriorityRateZero(t *testing.T) {
 	}
 	if got := st.flows[1].rate; got != bw/2 {
 		t.Errorf("fair-share step-2 flow rate = %v, want %v", got, bw/2)
+	}
+}
+
+// checkFluidRegisters recomputes the per-link occupancy counts and
+// min-step registers from scratch over the active set and compares them
+// to the incrementally maintained cnt/minStep arrays, then walks every
+// link's occupancy list to confirm it is coherent (doubly linked, one
+// node per path occurrence).
+func checkFluidRegisters(t *testing.T, st *fluidState) {
+	t.Helper()
+	nLinks := len(st.cnt)
+	wantCnt := make([]int32, nLinks)
+	wantMin := make([]int32, nLinks)
+	for l := range wantMin {
+		wantMin[l] = math.MaxInt32
+	}
+	for _, id := range st.active {
+		f := &st.flows[id]
+		for _, l := range f.path {
+			wantCnt[l]++
+			if f.step < wantMin[l] {
+				wantMin[l] = f.step
+			}
+		}
+	}
+	for l := 0; l < nLinks; l++ {
+		if st.cnt[l] != wantCnt[l] {
+			t.Fatalf("t=%v link %d: incremental cnt=%d, from-scratch=%d",
+				st.now, l, st.cnt[l], wantCnt[l])
+		}
+		if st.cnt[l] > 0 && st.minStep[l] != wantMin[l] {
+			t.Fatalf("t=%v link %d: incremental minStep=%d, from-scratch=%d",
+				st.now, l, st.minStep[l], wantMin[l])
+		}
+		// Occupancy list coherence: exactly cnt[l] nodes, all naming this
+		// link, back-pointers intact.
+		n, prev := int32(0), int32(-1)
+		for ni := st.occHead[l]; ni >= 0; ni = st.occ[ni].next {
+			occ := &st.occ[ni]
+			if occ.link != int32(l) {
+				t.Fatalf("t=%v link %d: occupancy node %d names link %d", st.now, l, ni, occ.link)
+			}
+			if occ.prev != prev {
+				t.Fatalf("t=%v link %d: occupancy node %d has prev=%d, want %d", st.now, l, ni, occ.prev, prev)
+			}
+			if st.flows[occ.flow].state != fsActive {
+				t.Fatalf("t=%v link %d: occupancy node %d references non-active flow %d", st.now, l, ni, occ.flow)
+			}
+			prev = ni
+			n++
+		}
+		if n != st.cnt[l] {
+			t.Fatalf("t=%v link %d: occupancy list has %d nodes, cnt=%d", st.now, l, n, st.cnt[l])
+		}
+	}
+}
+
+// runWithRegisterChecks replays the engine's event loop step by step,
+// validating the incremental registers against a from-scratch recompute
+// after every event batch. Returns true if the run stalled (expected for
+// dead-link fault plans).
+func runWithRegisterChecks(t *testing.T, s *collective.Schedule, cfg Config) bool {
+	t.Helper()
+	flt, err := faults.Compile(cfg.Faults, s.Topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newFluidState(s, cfg, flt)
+	checkFluidRegisters(t, st)
+	for st.done < len(st.flows) {
+		tNext := st.nextEventTime()
+		if math.IsInf(tNext, 1) {
+			checkFluidRegisters(t, st)
+			return true
+		}
+		st.advanceTo(tNext)
+		st.processInjections(st.res)
+		st.processTimed(st.res)
+		st.activateReady()
+		if st.ratesDirty {
+			st.recomputeRates()
+		}
+		checkFluidRegisters(t, st)
+	}
+	return false
+}
+
+// TestFluidRegisterConsistency drives the incremental cnt/minStep
+// bookkeeping through adversarial activate/retire orders — contended
+// schedules where step priority pins flows at rate 0, lockstep pipelines
+// with staggered retirement, and fault plans that degrade or kill links
+// mid-run (PR 4's rate-0 drops) — asserting after every event batch that
+// the registers match a from-scratch recompute.
+func TestFluidRegisterConsistency(t *testing.T) {
+	topo := fluidTorus()
+	schedules := map[string]*collective.Schedule{}
+	for _, alg := range []string{"ring", "dbtree", "2d-ring"} {
+		s, err := buildRegistry(topo, alg, (64<<10)/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedules[alg] = s
+	}
+
+	for name, s := range schedules {
+		t.Run(name+"/lockstep", func(t *testing.T) {
+			if stalled := runWithRegisterChecks(t, s, DefaultConfig()); stalled {
+				t.Fatal("fault-free run stalled")
+			}
+		})
+		t.Run(name+"/freeRunning", func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Lockstep = false
+			cfg.StepPriority = false
+			if stalled := runWithRegisterChecks(t, s, cfg); stalled {
+				t.Fatal("fault-free run stalled")
+			}
+		})
+	}
+
+	t.Run("ring/bwDegraded", func(t *testing.T) {
+		plan, err := faults.ParseSpec("link:0-1:bw=0.25,link:5-6@t=200:bw=0.5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Faults = plan
+		if stalled := runWithRegisterChecks(t, schedules["ring"], cfg); stalled {
+			t.Fatal("bandwidth-degraded run stalled")
+		}
+	})
+	t.Run("ring/linkDown", func(t *testing.T) {
+		plan, err := faults.ParseSpec("link:0-1@t=100:down")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		cfg.Faults = plan
+		if stalled := runWithRegisterChecks(t, schedules["ring"], cfg); !stalled {
+			t.Fatal("run across a dead link should stall with flows pinned at rate 0")
+		}
+	})
+}
+
+// TestFluidRateReuseMatchesFullFill pins the incremental fast path's
+// correctness the strong way: the same schedule simulated with
+// tryRateReuse enabled and disabled must produce byte-identical traced
+// event streams and Results. The enabled run must actually exercise the
+// fast path, or the comparison proves nothing.
+func TestFluidRateReuseMatchesFullFill(t *testing.T) {
+	topo := fluidTorus()
+	for _, alg := range []string{"ring", "2d-ring", "dbtree"} {
+		s, err := buildRegistry(topo, alg, (256<<10)/4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, lockstep := range []bool{true, false} {
+			name := alg + "/lockstep"
+			if !lockstep {
+				name = alg + "/freeRunning"
+			}
+			t.Run(name, func(t *testing.T) {
+				run := func(noIncremental bool) (*Result, []obs.Event, int) {
+					rec := &obs.Recorder{}
+					cfg := DefaultConfig()
+					cfg.Lockstep = lockstep
+					cfg.StepPriority = lockstep
+					cfg.Tracer = rec
+					fs, err := NewFluidSim(s, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fs.st.noIncremental = noIncremental
+					res, err := fs.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res, rec.Events, fs.st.reuseHits
+				}
+				full, fullEvents, _ := run(true)
+				fast, fastEvents, hits := run(false)
+				if alg != "dbtree" && hits == 0 {
+					t.Errorf("tryRateReuse never fired on %s; the fast-path comparison is vacuous", alg)
+				}
+				if full.Cycles != fast.Cycles {
+					t.Fatalf("cycles diverge: full fill %d, rate reuse %d", full.Cycles, fast.Cycles)
+				}
+				if !reflect.DeepEqual(full, fast) {
+					t.Fatal("Results diverge between full fill and rate reuse")
+				}
+				if !reflect.DeepEqual(fullEvents, fastEvents) {
+					t.Fatalf("event streams diverge (%d vs %d events)", len(fullEvents), len(fastEvents))
+				}
+			})
+		}
+	}
+}
+
+// TestFluidEngineSteadyStateAllocs: after the first run has grown every
+// backing array to its high-water mark, re-running the simulation
+// performs zero heap allocations.
+func TestFluidEngineSteadyStateAllocs(t *testing.T) {
+	s := chainSchedule(t, (64<<10)/4, 4)
+	sim, err := NewFluidSim(s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sim.Run() // warm-up: grows heap, scratch, occupancy arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmCycles := first.Cycles
+	allocs := testing.AllocsPerRun(3, func() {
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != warmCycles {
+			t.Fatalf("rerun finished in %d cycles, warm-up in %d", res.Cycles, warmCycles)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state event loop allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestFluidSimMatchesSimulateFluid: the reusable simulator and the
+// one-shot entry point are the same engine, run after run.
+func TestFluidSimMatchesSimulateFluid(t *testing.T) {
+	s := chainSchedule(t, (16<<10)/4, 2)
+	cfg := DefaultConfig()
+	oneShot, err := SimulateFluid(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewFluidSim(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		res, err := sim.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != oneShot.Cycles {
+			t.Fatalf("run %d: FluidSim finished in %d cycles, SimulateFluid in %d",
+				run, res.Cycles, oneShot.Cycles)
+		}
+		if !reflect.DeepEqual(res.TransferDone, oneShot.TransferDone) {
+			t.Fatalf("run %d: per-transfer completion times diverge", run)
+		}
+		if !reflect.DeepEqual(res.LinkBusy, oneShot.LinkBusy) {
+			t.Fatalf("run %d: link busy times diverge", run)
+		}
 	}
 }

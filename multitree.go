@@ -243,16 +243,61 @@ type SimResult struct {
 
 // Simulate runs the schedule through the selected network engine and
 // reports completion time and achieved bandwidth (data size / time).
+// Each call builds the engine state from scratch; callers re-simulating
+// the same schedule many times (parameter sweeps, what-if studies)
+// should build a Simulator once and call its Run repeatedly.
 func (s *Schedule) Simulate(opt SimOptions) (SimResult, error) {
-	engine := network.SimulateFluid
-	if opt.PacketLevel {
-		engine = network.SimulatePackets
-	}
-	res, err := engine(s.s, opt.internal())
+	sim, err := s.NewSimulator(opt)
 	if err != nil {
 		return SimResult{}, err
 	}
-	dataBytes := int64(s.s.Elems) * collective.WordSize
+	return sim.Run()
+}
+
+// Simulator is a reusable network simulator for one schedule and one
+// simulation configuration. Run may be called repeatedly; the engine
+// keeps all backing storage (event heaps, scratch arrays, arenas)
+// between runs, so steady-state re-simulation performs no heap
+// allocations. Runs are deterministic and cycle-identical to each other
+// and to a one-shot Simulate with the same options.
+type Simulator struct {
+	elems  int
+	fluid  *network.FluidSim
+	packet *network.PacketSim
+}
+
+// NewSimulator validates the options and builds the reusable engine
+// state for the schedule: a flow-level FluidSim by default, a
+// packet-level PacketSim when opt.PacketLevel is set.
+func (s *Schedule) NewSimulator(opt SimOptions) (*Simulator, error) {
+	sim := &Simulator{elems: s.s.Elems}
+	cfg := opt.internal()
+	var err error
+	if opt.PacketLevel {
+		sim.packet, err = network.NewPacketSim(s.s, cfg)
+	} else {
+		sim.fluid, err = network.NewFluidSim(s.s, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// Run simulates the schedule and reports completion time and achieved
+// bandwidth (data size / time).
+func (sim *Simulator) Run() (SimResult, error) {
+	var res *network.Result
+	var err error
+	if sim.packet != nil {
+		res, err = sim.packet.Run()
+	} else {
+		res, err = sim.fluid.Run()
+	}
+	if err != nil {
+		return SimResult{}, err
+	}
+	dataBytes := int64(sim.elems) * collective.WordSize
 	return SimResult{
 		Cycles:        uint64(res.Cycles),
 		BandwidthGBps: network.GBps(res.BandwidthBytesPerCycle(dataBytes)),

@@ -115,6 +115,36 @@ func TestSimulateBothEngines(t *testing.T) {
 	}
 }
 
+// TestSimulatorReuse: the reusable Simulator matches the one-shot
+// Simulate on every run, for both engines.
+func TestSimulatorReuse(t *testing.T) {
+	topo := multitree.NewTorus(4, 4)
+	s, err := multitree.BuildSchedule(topo, multitree.MultiTree, 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []multitree.SimOptions{{}, {PacketLevel: true}, {MessageBased: true}} {
+		oneShot, err := s.Simulate(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := s.NewSimulator(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			got, err := sim.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != oneShot {
+				t.Fatalf("opt %+v run %d: Simulator returned %+v, one-shot Simulate %+v",
+					opt, run, got, oneShot)
+			}
+		}
+	}
+}
+
 // TestMultiTreeWinsProperty: on random torus shapes at bandwidth-bound
 // sizes, MultiTree's bandwidth is at least Ring's.
 func TestMultiTreeWinsProperty(t *testing.T) {

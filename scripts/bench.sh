@@ -6,7 +6,7 @@
 # two recordings with `benchstat old.txt new.txt`) and a JSON baseline
 # with one {name, ns_op, b_op, allocs_op} entry per benchmark:
 #
-#   scripts/bench.sh                              # -> results/BENCH_pr3.json + .txt
+#   scripts/bench.sh                              # -> results/BENCH_pr5.json + .txt
 #   scripts/bench.sh -out results/BENCH_new.json  # record elsewhere
 #   scripts/bench.sh -benchtime 3x                # extra go-test flags pass through
 #
@@ -26,8 +26,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=results/BENCH_pr3.json
-DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead)$'
+BASELINE=results/BENCH_pr5.json
+DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead|BenchmarkFluidSweep_Torus8x8|BenchmarkFluidEngineSteadyState)$'
 NS_FACTOR=${NS_FACTOR:-4}
 
 mode=record
