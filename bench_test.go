@@ -48,6 +48,7 @@ func benchAllReduce(b *testing.B, spec string, dataBytes int64, engine experimen
 			}
 			b.ReportMetric(p.BandwidthGBps, "GB/s")
 			b.ReportMetric(float64(p.Cycles), "cycles")
+			b.ReportMetric(float64(p.PlanNanos), "plan_ns")
 		})
 	}
 }

@@ -27,6 +27,21 @@
 //
 //	allreduce-bench -fig 9a -engine fluid -cpuprofile cpu.out
 //
+// Every mode can emit a structured run report and a planner phase
+// breakdown, and serve live Prometheus metrics while it works:
+//
+//	allreduce-bench -algo multitree -topo mesh-16x16 -report run.json
+//	allreduce-bench -algo multitree -topo mesh-16x16 -planprofile phases.csv
+//	allreduce-bench -fig 9a -metrics-addr :9464 -metrics-linger 30s
+//	allreduce-bench -validate-report run.json
+//
+// -report writes the versioned multitree-runreport/v1 JSON (environment,
+// topology fingerprint, planner phase wall times, engine counters,
+// plan-vs-compile-vs-simulate wall split); -validate-report strictly
+// re-decodes one and exits non-zero on any deviation. -progress prints
+// live planner progress with an ETA on stderr, auto-detecting terminals
+// so CI logs get plain line-buffered output.
+//
 // Single-run observability mode: -algo selects one algorithm on one
 // topology and exports what the simulation did.
 //
@@ -71,12 +86,13 @@ import (
 	"log"
 	"os"
 	"runtime"
-	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"multitree/internal/algorithms"
 	_ "multitree/internal/algorithms/all"
+	"multitree/internal/cliutil"
 	"multitree/internal/collective"
 	"multitree/internal/experiments"
 	"multitree/internal/faults"
@@ -117,19 +133,59 @@ func main() {
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProfile = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+
+		reportPath    = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
+		planCSV       = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
+		progressMode  = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
+		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics at this address (e.g. :9464) during the run")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run completes")
+		validatePath  = flag.String("validate-report", "", "strictly validate a run report file and exit (the CI check)")
 	)
 	flag.Parse()
 
-	stopProfiles := startProfiles(*cpuProfile, *memProfile)
-	defer stopProfiles()
+	if *validatePath != "" {
+		rep, err := cliutil.ValidateRunReport(*validatePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: valid %s (tool %s, mode %s)\n", *validatePath, rep.Schema, rep.Tool, rep.Mode)
+		return
+	}
+
+	var mode string
+	switch {
+	case *resilience:
+		mode = "resilience"
+	case *schedFile != "":
+		mode = "schedule"
+	case *algo != "":
+		mode = "single"
+	case *table1:
+		mode = "table1"
+	case *fig != "":
+		mode = "fig" + *fig
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	run, err := cliutil.StartRun(cliutil.Config{
+		Tool: "allreduce-bench", Mode: mode,
+		ReportPath: *reportPath, PlanCSVPath: *planCSV,
+		ProgressMode: *progressMode,
+		MetricsAddr:  *metricsAddr, MetricsLinger: *metricsLinger,
+		CPUProfile: *cpuProfile, MemProfile: *memProfile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	switch {
 	case *resilience:
-		runResilience(*topo, *size, *maxFail, *seed, *jsonOut)
+		runResilience(*topo, *size, *maxFail, *seed, *jsonOut, run)
 	case *schedFile != "":
-		runSchedule(*schedFile, *faultSpec, *jsonOut)
+		runSchedule(*schedFile, *faultSpec, *jsonOut, run)
 	case *algo != "":
-		runSingle(*algo, *topo, *size, *engine, *faultSpec, *replan, *traceOut, *linkstats, *steputil, *bin, *jsonOut)
+		runSingle(*algo, *topo, *size, *engine, *faultSpec, *replan, *traceOut, *linkstats, *steputil, *bin, *jsonOut, run)
 	case *table1:
 		runTable1(*topos)
 	case *fig == "2":
@@ -138,50 +194,14 @@ func main() {
 			fmt.Printf("%d,%.4f\n", p.PayloadBytes, p.Overhead)
 		}
 	case strings.HasPrefix(*fig, "9"):
-		runFig9(*fig, *topos, *maxSz, *engine, *workers, *jsonOut)
+		runFig9(*fig, *topos, *maxSz, *engine, *workers, *jsonOut, run)
 	case *fig == "10":
 		runFig10()
 	default:
-		flag.Usage()
-		stopProfiles()
-		os.Exit(2)
+		log.Fatalf("unknown figure %q", *fig)
 	}
-}
-
-// startProfiles starts CPU profiling and arranges a heap profile at exit,
-// per the requested paths. The returned stop function is idempotent; note
-// that log.Fatal error paths exit without reaching it, so profiles are
-// only written for runs that complete.
-func startProfiles(cpuPath, memPath string) (stop func()) {
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpuPath != "" {
-			pprof.StopCPUProfile()
-		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // flush recent frees so the profile shows live heap
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
-			}
-		}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -219,7 +239,8 @@ type scheduleReport struct {
 // ramp inputs, and an NI table-compilation attempt with a Fig. 6 machine
 // replay when it succeeds. Validation (DAG shape, link existence, flow
 // coverage, topology fingerprint) already happened inside Import.
-func runSchedule(path, faultSpec string, jsonOut bool) {
+func runSchedule(path, faultSpec string, jsonOut bool, run *cliutil.Run) {
+	start := time.Now()
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -229,6 +250,7 @@ func runSchedule(path, faultSpec string, jsonOut bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	imported := time.Now()
 	plan, err := faults.ParseSpec(faultSpec)
 	if err != nil {
 		log.Fatal(err)
@@ -242,10 +264,21 @@ func runSchedule(path, faultSpec string, jsonOut bool) {
 		DataBytes: dataBytes,
 		Transfers: len(s.Transfers),
 	}
+	run.SetTopology(s.Topo, s)
+	run.Report.Algorithm = s.Algorithm
+	run.Report.DataBytes = dataBytes
+	run.Option("schedule", path)
+	run.Option("faults", faultSpec)
 	cfg := network.DefaultConfig()
 	if !plan.Empty() {
 		cfg.Faults = plan
 	}
+	var met *obs.Metrics
+	if run.Profile != nil {
+		met = obs.NewMetrics(0)
+		cfg.Tracer = met
+	}
+	simStart := time.Now()
 	fl, err := network.SimulateFluid(s, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -256,11 +289,14 @@ func runSchedule(path, faultSpec string, jsonOut bool) {
 		log.Fatal(err)
 	}
 	rep.Packet = engineReport{uint64(pk.Cycles), pk.BandwidthBytesPerCycle(dataBytes)}
+	simNanos := time.Since(simStart).Nanoseconds()
+	run.ObserveSim(met)
 	if err := collective.VerifyAllReduce(s, collective.RampInputs(s.Topo.Nodes(), s.Elems)); err != nil {
 		log.Fatalf("imported schedule fails all-reduce correctness: %v", err)
 	}
 	rep.Correct = true
-	if tables, err := ni.CompileSchedule(s); err != nil {
+	niStart := time.Now()
+	if tables, err := ni.CompileScheduleObserved(s, run.PlanObserver()); err != nil {
 		rep.NITables = niReport{Reason: err.Error()}
 	} else {
 		rounds, err := ni.NewMachine(tables, len(s.Flows)).Run()
@@ -268,6 +304,10 @@ func runSchedule(path, faultSpec string, jsonOut bool) {
 			log.Fatal(err)
 		}
 		rep.NITables = niReport{Compiled: true, IssueRounds: rounds}
+	}
+	run.Report.Wall = &obs.WallSplit{
+		CompileNanos:  imported.Sub(start).Nanoseconds() + time.Since(niStart).Nanoseconds(),
+		SimulateNanos: simNanos,
 	}
 	if jsonOut {
 		emitJSON(rep)
@@ -298,7 +338,7 @@ func emitJSON(v any) {
 // requested artifacts. The packet engine is the default here for the same
 // reason as Fig. 9: its per-packet link occupancy gives the most honest
 // timelines; -engine fluid selects the flow-level engine.
-func runSingle(algo, topoSpec, size, engineName, faultSpec string, replan bool, traceOut, linkstats, steputil string, bin float64, jsonOut bool) {
+func runSingle(algo, topoSpec, size, engineName, faultSpec string, replan bool, traceOut, linkstats, steputil string, bin float64, jsonOut bool, run *cliutil.Run) {
 	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
 	if err != nil {
 		log.Fatal(err)
@@ -332,11 +372,29 @@ func runSingle(algo, topoSpec, size, engineName, faultSpec string, replan bool, 
 	if plan.Empty() {
 		plan = nil
 	}
-	tr, err := experiments.TraceAllReduceFaulty(topo, alg, dataBytes, engine, bin, plan)
+	tr, err := experiments.TraceAllReduceObserved(topo, alg, dataBytes, engine, bin, plan, run.PlanObserver())
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := tr.Point
+	run.SetTopology(topo, tr.Sched)
+	run.Report.Algorithm = algo
+	run.Report.DataBytes = dataBytes
+	run.Report.Engine = engine.String()
+	run.Option("faults", faultSpec)
+	if replan {
+		run.Option("replan", "true")
+	}
+	run.ObserveSim(tr.Metrics)
+	if run.Report.Sim != nil {
+		run.Report.Sim.Engine = engine.String()
+		run.Report.Sim.Cycles = p.Cycles
+		run.Report.Sim.BandwidthGBps = p.BandwidthGBps
+	}
+	run.Report.Wall = &obs.WallSplit{
+		PlanNanos:     p.PlanNanos,
+		SimulateNanos: p.WallNanos - p.PlanNanos,
+	}
 	if jsonOut {
 		emitJSON(struct {
 			experiments.AllReducePoint
@@ -415,7 +473,7 @@ func normalizeTopoSpec(spec string) string {
 	return spec
 }
 
-func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut bool) {
+func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut bool, run *cliutil.Run) {
 	specs := map[string][]string{
 		"9a": {"torus-4x4", "torus-8x8"},
 		"9b": {"mesh-4x4", "mesh-8x8"},
@@ -440,6 +498,10 @@ func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut b
 	if engineName == "fluid" {
 		engine = experiments.Fluid
 	}
+	run.Report.Engine = engine.String()
+	run.Option("topos", strings.Join(specs, ","))
+	run.Option("max", maxSz)
+	run.Option("workers", strconv.Itoa(workers))
 	var all []experiments.AllReducePoint
 	if !jsonOut {
 		fmt.Println("topology,algorithm,data_bytes,cycles,bandwidth_gbps")
@@ -449,9 +511,20 @@ func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut b
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := experiments.Fig9Parallel(topo, experiments.Fig9Sizes(maxBytes), engine, workers)
+		points, err := experiments.Fig9ParallelObserved(topo, experiments.Fig9Sizes(maxBytes), engine, workers, run.PlanObserver())
 		if err != nil {
 			log.Fatal(err)
+		}
+		for _, p := range points {
+			run.Report.Points = append(run.Report.Points, obs.ReportPoint{
+				Topology:      p.Topology,
+				Algorithm:     p.Algorithm,
+				DataBytes:     p.DataBytes,
+				Cycles:        p.Cycles,
+				BandwidthGBps: p.BandwidthGBps,
+				WallNanos:     p.WallNanos,
+				PlanNanos:     p.PlanNanos,
+			})
 		}
 		if jsonOut {
 			all = append(all, points...)
@@ -469,7 +542,7 @@ func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut b
 // runResilience sweeps completion time against the number of failed
 // links on one topology: deterministic connectivity-preserving failure
 // draws, every algorithm re-planned on the degraded fabric, both engines.
-func runResilience(topoSpec, size string, maxFail int, seed int64, jsonOut bool) {
+func runResilience(topoSpec, size string, maxFail int, seed int64, jsonOut bool, run *cliutil.Run) {
 	topo, err := topospec.Parse(normalizeTopoSpec(topoSpec))
 	if err != nil {
 		log.Fatal(err)
@@ -478,6 +551,10 @@ func runResilience(topoSpec, size string, maxFail int, seed int64, jsonOut bool)
 	if err != nil {
 		log.Fatal(err)
 	}
+	run.SetTopology(topo, nil)
+	run.Report.DataBytes = dataBytes
+	run.Option("maxfail", strconv.Itoa(maxFail))
+	run.Option("seed", strconv.FormatInt(seed, 10))
 	points, err := experiments.Resilience(topo, maxFail, seed, dataBytes)
 	if err != nil {
 		log.Fatal(err)

@@ -28,6 +28,11 @@
 // disconnects the topology fails with a non-zero exit:
 //
 //	schedule-dump -topo torus-4x4 -algo multitree -faults link:3-7:down -export mt-deg.json
+//
+// The shared observability flags of allreduce-bench also apply here:
+// -report writes the versioned run report, -planprofile the planner
+// phase CSV, -progress live planner progress on stderr, and
+// -cpuprofile/-memprofile the pprof profiles.
 package main
 
 import (
@@ -41,6 +46,7 @@ import (
 
 	"multitree/internal/algorithms"
 	_ "multitree/internal/algorithms/all"
+	"multitree/internal/cliutil"
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/dbtree"
@@ -70,6 +76,12 @@ func main() {
 		size      = flag.String("size", "1MiB", "all-reduce data size for -export")
 		export    = flag.String("export", "", "write the -algo schedule as a versioned IR JSON file and exit")
 		faultSpec = flag.String("faults", "", "fault spec for -export; re-plan on the degraded fabric (e.g. link:3-7:down,node:12:down)")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		reportPath   = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
+		planCSV      = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
+		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 	)
 	flag.Parse()
 
@@ -78,17 +90,37 @@ func main() {
 		log.Fatal(err)
 	}
 
+	mode := "walkthrough"
 	if *export != "" {
-		exportSchedule(topo, *algo, *size, *export, *faultSpec)
+		mode = "export"
+	}
+	run, err := cliutil.StartRun(cliutil.Config{
+		Tool: "schedule-dump", Mode: mode,
+		ReportPath: *reportPath, PlanCSVPath: *planCSV,
+		ProgressMode: *progressMode,
+		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *export != "" {
+		exportSchedule(topo, *algo, *size, *export, *faultSpec, run)
+		if err := run.Finish(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 	if *faultSpec != "" {
 		log.Fatal("-faults only applies to -export mode; use allreduce-bench -faults to simulate mid-flight faults")
 	}
-	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	opts := core.DefaultOptions(topo)
+	opts.Observer = run.PlanObserver()
+	trees, err := core.BuildTrees(topo, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	run.SetTopology(topo, nil)
 
 	fmt.Printf("MultiTree construction on %s (%d nodes)\n", topo.Name(), topo.Nodes())
 	fmt.Println("\nAll-gather schedule trees (Fig. 3e; edge label tN is the time step):")
@@ -96,7 +128,7 @@ func main() {
 		fmt.Println("  " + tr.String())
 	}
 
-	sched, err := collective.TreesToSchedule(core.Algorithm, topo, topo.Nodes()*4, trees)
+	sched, err := collective.TreesToScheduleObserved(core.Algorithm, topo, topo.Nodes()*4, trees, run.PlanObserver())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -137,7 +169,7 @@ func main() {
 	}
 
 	if *tables {
-		nt, err := ni.Compile(trees, topo.Nodes())
+		nt, err := ni.CompileObserved(trees, topo.Nodes(), run.PlanObserver())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,6 +181,9 @@ func main() {
 		fmt.Printf("hardware overhead: %d bits/entry, %d entries, %d bytes/table\n",
 			ni.EntryBits(topo.Nodes()), 2*topo.Nodes(), ni.TableBytes(topo.Nodes()))
 	}
+	if err := run.Finish(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 // exportSchedule resolves the named algorithm through the registry,
@@ -157,7 +192,7 @@ func main() {
 // degrades the topology first, so the exported schedule is the re-plan
 // that routes around the failed hardware; a spec that disconnects the
 // fabric is a fatal error.
-func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string) {
+func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string, run *cliutil.Run) {
 	if faultSpec != "" {
 		plan, err := faults.ParseSpec(faultSpec)
 		if err != nil {
@@ -183,10 +218,15 @@ func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string)
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := algorithms.Build(topo, spec.Name, int(dataBytes/collective.WordSize), algorithms.Options{})
+	s, err := algorithms.Build(topo, spec.Name, int(dataBytes/collective.WordSize), algorithms.Options{Observer: run.PlanObserver()})
 	if err != nil {
 		log.Fatal(err)
 	}
+	run.SetTopology(topo, s)
+	run.Report.Algorithm = spec.Name
+	run.Report.DataBytes = dataBytes
+	run.Option("faults", faultSpec)
+	run.Option("export", path)
 	writeFile(path, func(w io.Writer) error {
 		return collective.Export(w, s)
 	})

@@ -16,6 +16,10 @@
 //
 //	train-sim -model ResNet50 -algo multitree-msg -trace trace.json
 //	train-sim -model BERT-Base -algo ring -linkstats links.csv
+//
+// The shared observability flags of allreduce-bench also apply here:
+// -report writes the versioned run report, -progress live planner
+// progress on stderr, and -cpuprofile/-memprofile the pprof profiles.
 package main
 
 import (
@@ -29,6 +33,7 @@ import (
 	"multitree/internal/accel"
 	"multitree/internal/algorithms"
 	_ "multitree/internal/algorithms/all"
+	"multitree/internal/cliutil"
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/experiments"
@@ -53,6 +58,11 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome-trace JSON (ui.perfetto.dev) of the model's gradient all-reduce")
 		linkstats = flag.String("linkstats", "", "write per-link binned utilization CSV of the gradient all-reduce")
 		bin       = flag.Float64("bin", 1000, "utilization histogram bin width in cycles for -linkstats")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProfile   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
+		reportPath   = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
+		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 	)
 	flag.Parse()
 
@@ -60,14 +70,42 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	mode := "fig11"
+	switch {
+	case *layers != "":
+		mode = "layers"
+	case *traceOut != "" || *linkstats != "":
+		mode = "trace"
+	}
+	run, err := cliutil.StartRun(cliutil.Config{
+		Tool: "train-sim", Mode: mode,
+		ReportPath:   *reportPath,
+		ProgressMode: *progressMode,
+		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	run.SetTopology(topo, nil)
+	finish := func() {
+		if err := run.Finish(); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *layers != "" {
-		printLayerProfile(topo, *layers)
+		printLayerProfile(topo, *layers, run)
+		finish()
 		return
 	}
 	if *traceOut != "" || *linkstats != "" {
-		traceGradientAllReduce(topo, *modelName, *algo, *traceOut, *linkstats, *bin)
+		traceGradientAllReduce(topo, *modelName, *algo, *traceOut, *linkstats, *bin, run)
+		finish()
 		return
 	}
+	if *overlap {
+		run.Option("overlap", "true")
+	}
+	defer finish()
 	rows, err := experiments.Fig11(topo, *overlap)
 	if err != nil {
 		log.Fatal(err)
@@ -81,11 +119,11 @@ func main() {
 		}
 		return
 	}
-	mode := "non-overlapped (Fig. 11a)"
+	label := "non-overlapped (Fig. 11a)"
 	if *overlap {
-		mode = "overlapped, layer-wise all-reduce (Fig. 11b)"
+		label = "overlapped, layer-wise all-reduce (Fig. 11b)"
 	}
-	fmt.Printf("Training-time breakdown on %s, batch 16/node, %s\n\n", topo.Name(), mode)
+	fmt.Printf("Training-time breakdown on %s, batch 16/node, %s\n\n", topo.Name(), label)
 	last := ""
 	for _, r := range rows {
 		if r.Model != last {
@@ -103,7 +141,7 @@ func main() {
 // with the fluid engine under tracing and writes the requested exports.
 // This is the communication phase of a non-overlapped (Fig. 11a) training
 // iteration; the fluid engine keeps multi-hundred-MiB gradients tractable.
-func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, linkstats string, bin float64) {
+func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, linkstats string, bin float64, run *cliutil.Run) {
 	net, err := model.ByName(modelName)
 	if err != nil {
 		log.Fatal(err)
@@ -116,11 +154,22 @@ func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, 
 		log.Fatalf("algorithm %q does not support %s", spec.Name, topo.Name())
 	}
 	alg := experiments.AlgSpec{Name: algo, Msg: msg}
-	tr, err := experiments.TraceAllReduce(topo, alg, net.GradientBytes(), experiments.Fluid, bin)
+	tr, err := experiments.TraceAllReduceObserved(topo, alg, net.GradientBytes(), experiments.Fluid, bin, nil, run.PlanObserver())
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := tr.Point
+	run.SetTopology(topo, tr.Sched)
+	run.Report.Algorithm = algo
+	run.Report.DataBytes = p.DataBytes
+	run.Report.Engine = experiments.Fluid.String()
+	run.Option("model", net.Name)
+	run.ObserveSim(tr.Metrics)
+	if run.Report.Sim != nil {
+		run.Report.Sim.Engine = experiments.Fluid.String()
+		run.Report.Sim.Cycles = p.Cycles
+		run.Report.Sim.BandwidthGBps = p.BandwidthGBps
+	}
 	fmt.Printf("%s gradient all-reduce: %s on %s, %d bytes, %d cycles, %.2f GB/s, %d events\n",
 		net.Name, p.Algorithm, p.Topology, p.DataBytes, p.Cycles, p.BandwidthGBps, len(tr.Events.Events))
 	if traceOut != "" {
@@ -152,15 +201,18 @@ func writeFile(path string, fn func(io.Writer) error) {
 // printLayerProfile dumps the per-layer compute/gradient/all-reduce
 // breakdown of one model under MultiTree with message-based flow control
 // — the raw material of the Fig. 11b overlap analysis.
-func printLayerProfile(topo *topology.Topology, name string) {
+func printLayerProfile(topo *topology.Topology, name string, run *cliutil.Run) {
 	net, err := model.ByName(name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	opts := core.DefaultOptions(topo)
+	opts.Observer = run.PlanObserver()
+	trees, err := core.BuildTrees(topo, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	run.Option("model", net.Name)
 	cfg := training.Config{
 		Topo:         topo,
 		Accel:        accel.Default(),

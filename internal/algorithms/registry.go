@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -38,6 +39,12 @@ type Options struct {
 	// Chunks is the pipeline depth for chunk-pipelined algorithms
 	// (dbtree); <= 0 selects the algorithm's default.
 	Chunks int
+
+	// Observer receives planner lifecycle callbacks (phase wall time,
+	// counters, progress) from algorithms that support them; nil keeps
+	// construction observation-free. Algorithms whose construction is
+	// trivial may ignore it.
+	Observer obs.PlanObserver
 }
 
 // Builder constructs an algorithm's schedule for elems gradient elements

@@ -1,0 +1,160 @@
+package cliutil
+
+import (
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multitree/internal/obs"
+)
+
+func TestIsTerminalOnPipe(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	defer w.Close()
+	if IsTerminal(r) || IsTerminal(w) {
+		t.Error("pipe ends report as terminals")
+	}
+}
+
+func TestProgressFor(t *testing.T) {
+	if p, err := ProgressFor("off"); err != nil || p != nil {
+		t.Errorf("off: %v %v", p, err)
+	}
+	if p, err := ProgressFor(""); err != nil || p != nil {
+		t.Errorf("empty: %v %v", p, err)
+	}
+	p, err := ProgressFor("on")
+	if err != nil || p == nil {
+		t.Fatalf("on: %v %v", p, err)
+	}
+	// Under go test, stderr is not a character device, so forced-on
+	// must select the plain style and auto must stay silent.
+	if p.Interactive && !IsTerminal(os.Stderr) {
+		t.Error("forced-on progress is interactive on a non-terminal stderr")
+	}
+	if _, err := ProgressFor("sometimes"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestWriteAndValidateRunReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	rep := obs.NewRunReport("cliutil-test", "single")
+	rep.Algorithm = "multitree"
+	if err := WriteRunReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ValidateRunReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tool != "cliutil-test" || got.Mode != "single" || got.Algorithm != "multitree" {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	// Corrupt the file: validation must fail loudly.
+	if err := os.WriteFile(path, []byte(`{"schema":"multitree-runreport/v1","bogus":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateRunReport(path); err == nil {
+		t.Error("unknown field passed validation")
+	}
+}
+
+func TestServeMetrics(t *testing.T) {
+	h := obs.NewPromHandler()
+	url, stop, err := ServeMetrics("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	body := string(buf[:n])
+	if !strings.Contains(body, "multitree_up 1") {
+		t.Errorf("scrape missing multitree_up:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+}
+
+// TestRunLifecycle drives a full StartRun/Finish cycle: observer
+// fan-out, sim fold, report and plan CSV on disk, both validating.
+func TestRunLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	reportPath := filepath.Join(dir, "report.json")
+	csvPath := filepath.Join(dir, "plan.csv")
+	run, err := StartRun(Config{
+		Tool: "cliutil-test", Mode: "single",
+		ReportPath: reportPath, PlanCSVPath: csvPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Profile == nil {
+		t.Fatal("report requested but no profile allocated")
+	}
+	o := run.PlanObserver()
+	if o == nil {
+		t.Fatal("PlanObserver nil with a live profile")
+	}
+	o.PhaseStart(obs.PhaseTreeGrowth)
+	o.PhaseEnd(obs.PhaseTreeGrowth, obs.PlanCounters{NodesAttached: 12})
+
+	m := obs.NewMetrics(0)
+	m.Emit(obs.Event{Kind: obs.EvStepEnter})
+	run.ObserveSim(m)
+	run.ObserveSim(m) // folds accumulate
+	if run.Report.Sim.StepEnters != 2 {
+		t.Errorf("sim fold StepEnters = %d, want 2", run.Report.Sim.StepEnters)
+	}
+
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ValidateRunReport(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Planner == nil || len(rep.Planner.Phases) == 0 {
+		t.Error("report missing planner phases")
+	}
+	if rep.Wall == nil || rep.Wall.TotalNanos <= 0 {
+		t.Errorf("report wall split: %+v", rep.Wall)
+	}
+	if rep.Sim == nil || rep.Sim.AllocBytes == 0 {
+		t.Errorf("report sim missing alloc growth: %+v", rep.Sim)
+	}
+	csv, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csv), "phase,runs,wall_ns,share") {
+		t.Errorf("plan CSV header: %q", string(csv))
+	}
+}
+
+// TestRunDisabled: a zero-config run keeps the nil-observer fast path.
+func TestRunDisabled(t *testing.T) {
+	run, err := StartRun(Config{Tool: "cliutil-test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Profile != nil || run.PlanObserver() != nil {
+		t.Error("disabled run allocated an observer")
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -169,6 +170,27 @@ func (t *Tree) String() string {
 // Gather to a child waits for the Gather received from the parent (or, at
 // the root, for the completed reduction).
 func TreesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree) (*Schedule, error) {
+	return TreesToScheduleObserved(alg, topo, elems, trees, nil)
+}
+
+// TreesToScheduleObserved is TreesToSchedule bracketed as the lowering
+// phase of a PlanObserver: phase boundaries plus the emitted transfer
+// count. A nil observer makes it exactly TreesToSchedule.
+func TreesToScheduleObserved(alg string, topo *topology.Topology, elems int, trees []*Tree, o obs.PlanObserver) (*Schedule, error) {
+	if o == nil {
+		return treesToSchedule(alg, topo, elems, trees)
+	}
+	o.PhaseStart(obs.PhaseLowering)
+	s, err := treesToSchedule(alg, topo, elems, trees)
+	var c obs.PlanCounters
+	if s != nil {
+		c.Transfers = int64(len(s.Transfers))
+	}
+	o.PhaseEnd(obs.PhaseLowering, c)
+	return s, err
+}
+
+func treesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree) (*Schedule, error) {
 	s := NewSchedule(alg, topo, elems, len(trees))
 	tot := 0
 	for _, tr := range trees {

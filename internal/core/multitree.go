@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -79,6 +80,14 @@ type Options struct {
 	// fewer-step set. DefaultOptions enables Auto on switch-based
 	// networks.
 	Auto bool
+
+	// Observer receives planner lifecycle callbacks: phase boundaries
+	// with counters, per-step progress, and pipeline position. Nil (the
+	// default) keeps construction observation-free: no time reads, no
+	// callbacks, zero allocations added to the hot search path
+	// (TestPlanObserverNilZeroAlloc). The per-search counters themselves
+	// are plain integer fields and are maintained either way.
+	Observer obs.PlanObserver
 }
 
 // DefaultOptions returns the recommended construction options for a
@@ -100,6 +109,25 @@ func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, erro
 	if opts.Auto {
 		return buildAuto(topo, opts)
 	}
+	o := opts.Observer
+	if o != nil {
+		o.PhaseStart(obs.PhaseTreeGrowth)
+	}
+	trees, counters, err := growTrees(topo, opts)
+	if o != nil {
+		o.PhaseEnd(obs.PhaseTreeGrowth, counters)
+	}
+	return trees, err
+}
+
+// growTrees is the tree-growth phase body: Algorithm 1's main loop with
+// the per-step link allocation. It always maintains the PlanCounters —
+// integer adds cost nothing worth branching around — and reports per-step
+// progress only when an observer is attached.
+func growTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, obs.PlanCounters, error) {
+	o := opts.Observer
+	var c obs.PlanCounters
+	n := topo.Nodes()
 	k := n // one tree per node by default
 	if opts.Trees > 0 && opts.Trees < n {
 		k = opts.Trees
@@ -127,12 +155,17 @@ func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, erro
 	alloc := newPathFinder(topo, opts.ReverseNeighborOrder)
 	alloc.shortestFirst = opts.ShortestPathFirst
 
+	// Every tree must attach all other nodes: the unit of progress.
+	totalAttach := int64(k) * int64(n-1)
+
 	for t := 1; ; t++ {
 		if complete(members, n) {
-			return trees, nil
+			alloc.fold(&c)
+			return trees, c, nil
 		}
 		if t > 2*len(topo.Links())+2 {
-			return nil, fmt.Errorf("multitree: construction did not converge on %s", topo.Name())
+			alloc.fold(&c)
+			return nil, c, fmt.Errorf("multitree: construction did not converge on %s", topo.Name())
 		}
 		// Start a new time step with a fresh topology graph (line 6).
 		for i := range avail {
@@ -149,10 +182,15 @@ func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, erro
 					for _, l := range path {
 						avail[l] = false
 					}
+					c.LinksAllocated += int64(len(path))
 					trees[ti].SetEdge(parent, child, t)
 					trees[ti].Path[child] = path
 					inTree[ti][child] = true
 					members[ti]++
+					c.NodesAttached++
+					if members[ti] == n {
+						c.TreesGrown++
+					}
 					pending[ti] = append(pending[ti], child)
 					addedThisStep++
 					progress = true
@@ -163,7 +201,12 @@ func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, erro
 			}
 		}
 		if addedThisStep == 0 {
-			return nil, fmt.Errorf("multitree: no progress at step %d on %s (disconnected graph?)", t, topo.Name())
+			alloc.fold(&c)
+			return nil, c, fmt.Errorf("multitree: no progress at step %d on %s (disconnected graph?)", t, topo.Name())
+		}
+		c.Steps++
+		if o != nil {
+			o.PlanProgress(obs.PhaseTreeGrowth, c.NodesAttached, totalAttach)
 		}
 		// Nodes added this step become eligible parents next step.
 		for ti := 0; ti < k; ti++ {
@@ -226,23 +269,47 @@ func maxHeight(trees []*collective.Tree) int {
 // table sets fit comfortably in the NI (§V-A), so a deployment can hold
 // both and select per collective size.
 func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedule, error) {
+	var tracker *pipelineTracker
+	o := opts.Observer
+	if o != nil {
+		// Announce the pipeline shape up front so a progress reporter can
+		// show "phase i/N" from the first step: Auto runs tree-growth and
+		// lowering twice plus one variant-score pass.
+		total := 2
+		if opts.Auto {
+			total = 5
+		}
+		o.Pipeline(0, total)
+		tracker = &pipelineTracker{inner: o, total: total}
+		opts.Observer = tracker
+		o = tracker
+	}
 	if opts.Auto {
 		first, shortest, err := buildBoth(topo, opts)
 		if err != nil {
 			return nil, err
 		}
-		sf, err := collective.TreesToSchedule(Algorithm, topo, elems, first)
+		sf, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, first, o)
 		if err != nil {
 			return nil, err
 		}
 		if shortest == nil {
+			tracker.finish()
 			return sf, nil
 		}
-		ss, err := collective.TreesToSchedule(Algorithm, topo, elems, shortest)
+		ss, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, shortest, o)
 		if err != nil {
 			return nil, err
 		}
-		if scoreSchedule(ss) < scoreSchedule(sf) {
+		if o != nil {
+			o.PhaseStart(obs.PhaseVariantScore)
+		}
+		better := scoreSchedule(ss) < scoreSchedule(sf)
+		if o != nil {
+			o.PhaseEnd(obs.PhaseVariantScore, obs.PlanCounters{})
+		}
+		tracker.finish()
+		if better {
 			return ss, nil
 		}
 		return sf, nil
@@ -251,7 +318,46 @@ func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedu
 	if err != nil {
 		return nil, err
 	}
-	return collective.TreesToSchedule(Algorithm, topo, elems, trees)
+	s, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, trees, o)
+	if err == nil {
+		tracker.finish()
+	}
+	return s, err
+}
+
+// pipelineTracker wraps the caller's observer to advance the pipeline
+// position after every completed phase, so Build call sites do not thread
+// a counter through the phase emit sites. Only allocated when an observer
+// is attached.
+type pipelineTracker struct {
+	inner       obs.PlanObserver
+	done, total int
+}
+
+func (p *pipelineTracker) PhaseStart(ph obs.PlanPhase) { p.inner.PhaseStart(ph) }
+
+func (p *pipelineTracker) PhaseEnd(ph obs.PlanPhase, c obs.PlanCounters) {
+	p.inner.PhaseEnd(ph, c)
+	if p.done < p.total {
+		p.done++
+	}
+	p.inner.Pipeline(p.done, p.total)
+}
+
+func (p *pipelineTracker) PlanProgress(ph obs.PlanPhase, done, total int64) {
+	p.inner.PlanProgress(ph, done, total)
+}
+
+func (p *pipelineTracker) Pipeline(done, total int) { p.inner.Pipeline(done, total) }
+
+// finish snaps the pipeline to complete — the Auto fallback path runs
+// fewer phases than announced. Safe on nil receivers.
+func (p *pipelineTracker) finish() {
+	if p == nil || p.done == p.total {
+		return
+	}
+	p.done = p.total
+	p.inner.Pipeline(p.done, p.total)
 }
 
 func complete(members []int, n int) bool {
@@ -352,6 +458,15 @@ type pathFinder struct {
 	// shortestFirst selects the Options.ShortestPathFirst allocation.
 	shortestFirst bool
 
+	// Search counters, maintained unconditionally (integer adds): turns
+	// of Algorithm 1 line 10, the turns that found no free path, links
+	// examined, and links skipped because another tree held them this
+	// step. growTrees folds them into the phase counters at the end.
+	searches      int64
+	searchMisses  int64
+	linksScanned  int64
+	linkConflicts int64
+
 	// scratch, reused across calls to avoid allocation in the hot loop.
 	visited []bool
 	via     []topology.LinkID
@@ -367,18 +482,28 @@ func newPathFinder(topo *topology.Topology, reverse bool) *pathFinder {
 	}
 }
 
+// fold accumulates the search counters into c.
+func (f *pathFinder) fold(c *obs.PlanCounters) {
+	c.Searches += f.searches
+	c.SearchMisses += f.searchMisses
+	c.LinksScanned += f.linksScanned
+	c.LinkConflicts += f.linkConflicts
+}
+
 // find scans candidate parents in their order of addition and returns the
 // first (child, parent, allocated path) reachable over free links, or
 // child = -1 when no parent can extend the tree this step. With
 // shortestFirst set it instead returns the globally shortest free path
 // over all parents.
 func (f *pathFinder) find(parents []topology.NodeID, inTree, avail []bool) (topology.NodeID, topology.NodeID, []topology.LinkID) {
+	f.searches++
 	if !f.shortestFirst {
 		for _, p := range parents {
 			if c, path := f.bfs(int(p), inTree, avail); c >= 0 {
 				return c, p, path
 			}
 		}
+		f.searchMisses++
 		return -1, -1, nil
 	}
 	bestChild := topology.NodeID(-1)
@@ -395,6 +520,9 @@ func (f *pathFinder) find(parents []topology.NodeID, inTree, avail []bool) (topo
 				break // cannot do better than a direct / same-switch hop
 			}
 		}
+	}
+	if bestChild < 0 {
+		f.searchMisses++
 	}
 	return bestChild, bestParent, bestPath
 }
@@ -421,7 +549,9 @@ func (f *pathFinder) bfs(start int, inTree, avail []bool) (topology.NodeID, []to
 			if f.reverse {
 				id = links[len(links)-1-li]
 			}
+			f.linksScanned++
 			if !avail[id] {
+				f.linkConflicts++
 				continue
 			}
 			w := t.Link(id).Dst

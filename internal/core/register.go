@@ -14,8 +14,10 @@ func init() {
 		Name:  Algorithm,
 		Order: 50,
 		Note:  "the paper's MultiTree, any topology with >= 2 nodes",
-		Build: func(topo *topology.Topology, elems int, _ algorithms.Options) (*collective.Schedule, error) {
-			return Build(topo, elems, DefaultOptions(topo))
+		Build: func(topo *topology.Topology, elems int, aopts algorithms.Options) (*collective.Schedule, error) {
+			opts := DefaultOptions(topo)
+			opts.Observer = aopts.Observer
+			return Build(topo, elems, opts)
 		},
 		Supports: func(topo *topology.Topology) bool { return topo.Nodes() >= 2 },
 	})

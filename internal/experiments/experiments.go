@@ -16,6 +16,7 @@ import (
 	"multitree/internal/collective"
 	"multitree/internal/core"
 	"multitree/internal/network"
+	"multitree/internal/obs"
 	"multitree/internal/ring"
 	"multitree/internal/ring2d"
 	"multitree/internal/topology"
@@ -75,6 +76,13 @@ func BuildSchedule(topo *topology.Topology, name string, elems int) (*collective
 	return algorithms.Build(topo, name, elems, algorithms.Options{})
 }
 
+// BuildScheduleObserved is BuildSchedule with planner observability: the
+// observer receives phase boundaries, counters and progress while the
+// schedule is constructed. Nil behaves exactly like BuildSchedule.
+func BuildScheduleObserved(topo *topology.Topology, name string, elems int, o obs.PlanObserver) (*collective.Schedule, error) {
+	return algorithms.Build(topo, name, elems, algorithms.Options{Observer: o})
+}
+
 // AllReducePoint is one measurement of Fig. 9/10. The JSON tags define
 // the machine-readable result format of allreduce-bench -json, consumed
 // by perf-trajectory tracking.
@@ -89,18 +97,30 @@ type AllReducePoint struct {
 
 	// WallNanos is the host wall-clock time spent producing this point
 	// (schedule construction plus simulation) — the simulator-throughput
-	// number the benchmark-regression harness tracks.
+	// number the benchmark-regression harness tracks. PlanNanos is the
+	// schedule-construction share of it, splitting planner cost from
+	// engine cost in the same record.
 	WallNanos int64 `json:"wall_ns,omitempty"`
+	PlanNanos int64 `json:"plan_ns,omitempty"`
 }
 
 // MeasureAllReduce simulates one (topology, algorithm, size) point.
 func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine) (AllReducePoint, error) {
+	return MeasureAllReduceObserved(topo, alg, dataBytes, engine, nil)
+}
+
+// MeasureAllReduceObserved is MeasureAllReduce reporting schedule
+// construction into a PlanObserver. Nil behaves exactly like
+// MeasureAllReduce; either way the point's PlanNanos carries the
+// construction share of WallNanos.
+func MeasureAllReduceObserved(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, o obs.PlanObserver) (AllReducePoint, error) {
 	start := time.Now()
 	elems := int(dataBytes / collective.WordSize)
-	s, err := BuildSchedule(topo, alg.Name, elems)
+	s, err := BuildScheduleObserved(topo, alg.Name, elems, o)
 	if err != nil {
 		return AllReducePoint{}, err
 	}
+	planned := time.Now()
 	cfg := network.DefaultConfig()
 	cfg.MessageBased = alg.Msg
 	res, err := engine.run(s, cfg)
@@ -114,6 +134,7 @@ func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, eng
 		Cycles:        uint64(res.Cycles),
 		BandwidthGBps: res.BandwidthBytesPerCycle(dataBytes),
 		WallNanos:     time.Since(start).Nanoseconds(),
+		PlanNanos:     planned.Sub(start).Nanoseconds(),
 	}, nil
 }
 
@@ -145,6 +166,14 @@ func Fig9(topo *topology.Topology, sizes []int64, engine Engine, emit func(AllRe
 // reads). Results come back in deterministic (algorithm, size) order
 // regardless of completion order.
 func Fig9Parallel(topo *topology.Topology, sizes []int64, engine Engine, workers int) ([]AllReducePoint, error) {
+	return Fig9ParallelObserved(topo, sizes, engine, workers, nil)
+}
+
+// Fig9ParallelObserved is Fig9Parallel with planner observability: all
+// workers report into the one observer (PlanProfile handles overlapping
+// same-phase runs by charging the union interval). Nil behaves exactly
+// like Fig9Parallel.
+func Fig9ParallelObserved(topo *topology.Topology, sizes []int64, engine Engine, workers int, o obs.PlanObserver) ([]AllReducePoint, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -168,7 +197,7 @@ func Fig9Parallel(topo *topology.Topology, sizes []int64, engine Engine, workers
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				p, err := MeasureAllReduce(topo, j.alg, j.bytes, engine)
+				p, err := MeasureAllReduceObserved(topo, j.alg, j.bytes, engine, o)
 				if err != nil {
 					errs[j.idx] = fmt.Errorf("%s/%s/%d: %w", topo.Name(), j.alg.Name, j.bytes, err)
 					continue

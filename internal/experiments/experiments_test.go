@@ -191,6 +191,7 @@ func TestFig9ParallelMatchesSerial(t *testing.T) {
 	for i := range serial {
 		a, b := serial[i], parallel[i]
 		a.WallNanos, b.WallNanos = 0, 0 // host timing, not simulation output
+		a.PlanNanos, b.PlanNanos = 0, 0
 		if a != b {
 			t.Errorf("point %d differs: %+v vs %+v", i, a, b)
 		}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"multitree/internal/collective"
 	"multitree/internal/faults"
@@ -40,14 +41,23 @@ func TraceAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, engin
 // (EvLinkFault events land in the recording), without re-planning the
 // schedule around them.
 func TraceAllReduceFaulty(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64, plan *faults.Plan) (*TracedResult, error) {
+	return TraceAllReduceObserved(topo, alg, dataBytes, engine, binCycles, plan, nil)
+}
+
+// TraceAllReduceObserved is TraceAllReduceFaulty reporting schedule
+// construction into a PlanObserver, so traced runs carry the same planner
+// phase breakdown as plain measurements. Nil behaves identically.
+func TraceAllReduceObserved(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64, plan *faults.Plan, po obs.PlanObserver) (*TracedResult, error) {
 	elems := int(dataBytes / collective.WordSize)
 	if elems < 1 {
 		return nil, fmt.Errorf("experiments: data size %d bytes is below one %d-byte element", dataBytes, collective.WordSize)
 	}
-	s, err := BuildSchedule(topo, alg.Name, elems)
+	start := time.Now()
+	s, err := BuildScheduleObserved(topo, alg.Name, elems, po)
 	if err != nil {
 		return nil, err
 	}
+	planned := time.Now()
 	rec := &obs.Recorder{}
 	met := obs.NewMetrics(binCycles)
 	cfg := network.DefaultConfig()
@@ -65,6 +75,8 @@ func TraceAllReduceFaulty(topo *topology.Topology, alg AlgSpec, dataBytes int64,
 			DataBytes:     dataBytes,
 			Cycles:        uint64(res.Cycles),
 			BandwidthGBps: res.BandwidthBytesPerCycle(dataBytes),
+			WallNanos:     time.Since(start).Nanoseconds(),
+			PlanNanos:     planned.Sub(start).Nanoseconds(),
 		},
 		Sched:   s,
 		Meta:    network.TraceMetaFor(s, ""),

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 )
 
 // CompileSchedule compiles a schedule — built in-process or imported from
@@ -16,6 +17,13 @@ import (
 // Schedules whose two phases are not mirrored trees (ring, HDRM) have no
 // Fig. 5 encoding and return a descriptive error.
 func CompileSchedule(s *collective.Schedule) (*Tables, error) {
+	return CompileScheduleObserved(s, nil)
+}
+
+// CompileScheduleObserved is CompileSchedule reporting into a
+// PlanObserver: the table compilation lands in the ni-compile phase. A
+// nil observer is exactly CompileSchedule.
+func CompileScheduleObserved(s *collective.Schedule, o obs.PlanObserver) (*Tables, error) {
 	trees, err := collective.TreesFromSchedule(s)
 	if err != nil {
 		return nil, err
@@ -25,7 +33,7 @@ func CompileSchedule(s *collective.Schedule) (*Tables, error) {
 			return nil, fmt.Errorf("ni: flow %d covers a node subset; subset schedules are not table-compilable", tr.Flow)
 		}
 	}
-	ts, err := Compile(trees, s.Topo.Nodes())
+	ts, err := CompileObserved(trees, s.Topo.Nodes(), o)
 	if err != nil {
 		return nil, err
 	}

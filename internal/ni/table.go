@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -69,6 +70,29 @@ type Tables struct {
 // node with children gets one Gather entry per child-step group; NOP
 // entries fill the steps a node does not send in, to hold the lockstep.
 func Compile(trees []*collective.Tree, nodes int) (*Tables, error) {
+	return CompileObserved(trees, nodes, nil)
+}
+
+// CompileObserved is Compile bracketed as the ni-compile phase of a
+// PlanObserver: phase boundaries plus the compiled entry count (NOPs
+// included — they occupy table rows). A nil observer is exactly Compile.
+func CompileObserved(trees []*collective.Tree, nodes int, o obs.PlanObserver) (*Tables, error) {
+	if o == nil {
+		return compile(trees, nodes)
+	}
+	o.PhaseStart(obs.PhaseNICompile)
+	ts, err := compile(trees, nodes)
+	var c obs.PlanCounters
+	if ts != nil {
+		for n := range ts.PerNode {
+			c.TableEntries += int64(len(ts.PerNode[n].Entries))
+		}
+	}
+	o.PhaseEnd(obs.PhaseNICompile, c)
+	return ts, err
+}
+
+func compile(trees []*collective.Tree, nodes int) (*Tables, error) {
 	tot := 0
 	for _, tr := range trees {
 		if err := tr.Validate(); err != nil {

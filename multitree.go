@@ -1,8 +1,6 @@
 package multitree
 
 import (
-	"fmt"
-
 	"multitree/internal/algorithms"
 	_ "multitree/internal/algorithms/all" // register the built-in algorithms
 	"multitree/internal/collective"
@@ -126,17 +124,10 @@ type Schedule struct {
 
 // BuildSchedule constructs the all-reduce schedule of an algorithm for
 // dataBytes of gradient (rounded down to whole 4-byte elements) on a
-// topology.
+// topology. BuildScheduleProfiled additionally records where the
+// planner spent its time.
 func BuildSchedule(t *Topology, alg Algorithm, dataBytes int64) (*Schedule, error) {
-	elems := int(dataBytes / collective.WordSize)
-	if elems < 1 {
-		return nil, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
-	}
-	s, err := algorithms.Build(t.t, string(alg), elems, algorithms.Options{})
-	if err != nil {
-		return nil, err
-	}
-	return &Schedule{s: s}, nil
+	return BuildScheduleProfiled(t, alg, dataBytes, nil)
 }
 
 // Algorithm returns the schedule's algorithm name.

@@ -1,8 +1,11 @@
 package multitree
 
 import (
+	"fmt"
 	"io"
 
+	"multitree/internal/algorithms"
+	"multitree/internal/collective"
 	"multitree/internal/network"
 	"multitree/internal/obs"
 )
@@ -47,4 +50,51 @@ func (s *Schedule) SimulateTraced(opt SimOptions) (SimResult, *Trace, error) {
 		return SimResult{}, nil, err
 	}
 	return res, tr, nil
+}
+
+// PlanProfile records where a schedule build spends its time: wall time
+// and work counters per planner phase (tree growth, variant scoring,
+// schedule lowering). Obtain one with NewPlanProfile, build through
+// BuildScheduleProfiled, then export the breakdown. A profile may span
+// several builds; phases accumulate.
+type PlanProfile struct {
+	p *obs.PlanProfile
+}
+
+// NewPlanProfile returns an empty planner profile.
+func NewPlanProfile() *PlanProfile {
+	return &PlanProfile{p: obs.NewPlanProfile()}
+}
+
+// TotalWallNanos is the wall time attributed to the planner across all
+// profiled builds.
+func (p *PlanProfile) TotalWallNanos() int64 { return p.p.TotalWallNanos() }
+
+// WriteCSV emits the per-phase breakdown (wall time, share, work
+// counters) as CSV — the same format the cmd tools write behind
+// -planprofile.
+func (p *PlanProfile) WriteCSV(w io.Writer) error { return p.p.WriteCSV(w) }
+
+// Progress returns the planner's coarse position: the pipeline phases
+// completed out of the announced total. Safe to poll from another
+// goroutine while a profiled build runs.
+func (p *PlanProfile) Progress() (completed, total int) { return p.p.PipelineProgress() }
+
+// BuildScheduleProfiled is BuildSchedule reporting phase timings and
+// work counters into the profile. The schedule built is byte-identical
+// to the unprofiled one; a nil profile is exactly BuildSchedule.
+func BuildScheduleProfiled(t *Topology, alg Algorithm, dataBytes int64, p *PlanProfile) (*Schedule, error) {
+	elems := int(dataBytes / collective.WordSize)
+	if elems < 1 {
+		return nil, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
+	}
+	var o obs.PlanObserver
+	if p != nil {
+		o = p.p
+	}
+	s, err := algorithms.Build(t.t, string(alg), elems, algorithms.Options{Observer: o})
+	if err != nil {
+		return nil, err
+	}
+	return &Schedule{s: s}, nil
 }

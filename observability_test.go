@@ -59,6 +59,38 @@ func TestSimulateTraced(t *testing.T) {
 	}
 }
 
+// TestBuildScheduleProfiled: the public profiled build produces the
+// same schedule as the plain one and a usable phase breakdown.
+func TestBuildScheduleProfiled(t *testing.T) {
+	topo := NewTorus(4, 4)
+	plain, err := BuildSchedule(topo, MultiTree, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlanProfile()
+	prof, err := BuildScheduleProfiled(topo, MultiTree, 1<<20, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Steps() != prof.Steps() || plain.Transfers() != prof.Transfers() {
+		t.Errorf("profiled build differs: %d/%d steps, %d/%d transfers",
+			plain.Steps(), prof.Steps(), plain.Transfers(), prof.Transfers())
+	}
+	if p.TotalWallNanos() <= 0 {
+		t.Error("profile recorded no planner wall time")
+	}
+	if done, total := p.Progress(); total == 0 || done != total {
+		t.Errorf("pipeline incomplete after build: %d/%d", done, total)
+	}
+	var csv strings.Builder
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv.String(), "tree-growth") {
+		t.Errorf("profile CSV missing tree-growth phase:\n%s", csv.String())
+	}
+}
+
 // TestSimOptionsMetrics checks the Metrics field collects without a Tracer
 // and composes with one.
 func TestSimOptionsMetrics(t *testing.T) {

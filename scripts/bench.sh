@@ -4,7 +4,9 @@
 # Record mode (default) runs the regression benchmark set and writes two
 # artifacts: a raw `go test -bench` log (benchstat-compatible — compare
 # two recordings with `benchstat old.txt new.txt`) and a JSON baseline
-# with one {name, ns_op, b_op, allocs_op} entry per benchmark:
+# with one {name, ns_op, b_op, allocs_op, plan_ns} entry per benchmark
+# (plan_ns is the planner's share of the last measured point, so sweep
+# recordings double as planner-throughput history):
 #
 #   scripts/bench.sh                              # -> results/BENCH_pr5.json + .txt
 #   scripts/bench.sh -out results/BENCH_new.json  # record elsewhere
@@ -57,7 +59,9 @@ trap 'rm -f "$raw"' EXIT
 # shellcheck disable=SC2086  # passthrough is intentionally word-split
 go test -run '^$' $passthrough -count=1 . | tee "$raw"
 
-# bench_to_tsv: name<TAB>ns/op<TAB>B/op<TAB>allocs/op per benchmark line.
+# bench_to_tsv: name<TAB>ns/op<TAB>B/op<TAB>allocs/op<TAB>plan_ns per
+# benchmark line. plan_ns (planner share of each all-reduce point, from
+# b.ReportMetric) is 0 for benchmarks that do not plan. Other
 # ReportMetric columns (GB/s, simCycles, ...) are skipped by matching on
 # the unit token; the trailing -N GOMAXPROCS suffix is stripped.
 bench_to_tsv() {
@@ -66,13 +70,14 @@ bench_to_tsv() {
       name = $1
       sub(/^Benchmark/, "", name)
       sub(/-[0-9]+$/, "", name)
-      ns = ""; bytes = "0"; allocs = "0"
+      ns = ""; bytes = "0"; allocs = "0"; plan = "0"
       for (i = 3; i <= NF; i++) {
         if ($i == "ns/op") ns = $(i-1)
         else if ($i == "B/op") bytes = $(i-1)
         else if ($i == "allocs/op") allocs = $(i-1)
+        else if ($i == "plan_ns") plan = $(i-1)
       }
-      if (ns != "") printf "%s\t%s\t%s\t%s\n", name, ns, bytes, allocs
+      if (ns != "") printf "%s\t%s\t%s\t%s\t%s\n", name, ns, bytes, allocs, plan
     }
   ' "$1"
 }
@@ -89,7 +94,7 @@ if [ "$mode" = record ]; then
     printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
     printf '  "benchmarks": [\n'
     bench_to_tsv "$raw" | awk -F'\t' '
-      { lines[NR] = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", $1, $2, $3, $4) }
+      { lines[NR] = sprintf("    {\"name\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s, \"plan_ns\": %s}", $1, $2, $3, $4, $5) }
       END { for (i = 1; i <= NR; i++) printf "%s%s\n", lines[i], (i < NR ? "," : "") }
     '
     printf '  ]\n'
