@@ -35,12 +35,21 @@
 //	allreduce-bench -fig 9a -metrics-addr :9464 -metrics-linger 30s
 //	allreduce-bench -validate-report run.json
 //
-// -report writes the versioned multitree-runreport/v1 JSON (environment,
+// -report writes the versioned multitree-runreport/v2 JSON (environment,
 // topology fingerprint, planner phase wall times, engine counters,
 // plan-vs-compile-vs-simulate wall split); -validate-report strictly
 // re-decodes one and exits non-zero on any deviation. -progress prints
 // live planner progress with an ETA on stderr, auto-detecting terminals
 // so CI logs get plain line-buffered output.
+//
+// Planning large fabrics: -plan-workers N grows MultiTree's trees on N
+// goroutines (the schedule is byte-identical for every N), and
+// -plan-cache DIR keeps built schedules in a content-addressed on-disk
+// cache, so repeat runs load a validated plan in milliseconds instead of
+// re-planning for minutes:
+//
+//	allreduce-bench -algo multitree -topo mesh-32x32 -engine fluid \
+//	    -plan-cache ~/.cache/multitree-plans -plan-workers 4
 //
 // Single-run observability mode: -algo selects one algorithm on one
 // topology and exports what the simulation did.
@@ -136,6 +145,9 @@ func main() {
 
 		reportPath    = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
 		planCSV       = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
+		planCache     = flag.String("plan-cache", "", "content-addressed plan cache directory: schedules load from it when present and are stored after a fresh build")
+		planCacheMax  = flag.String("plan-cache-max-bytes", "", "evict least-recently-used plan-cache entries above this size (e.g. 256MiB); empty or 0 leaves the cache uncapped")
+		planWorkers   = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
 		progressMode  = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics at this address (e.g. :9464) during the run")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run completes")
@@ -168,12 +180,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	cacheMax := int64(0)
+	if *planCacheMax != "" {
+		v, err := parseSize(*planCacheMax)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cacheMax = v
+	}
 	run, err := cliutil.StartRun(cliutil.Config{
 		Tool: "allreduce-bench", Mode: mode,
 		ReportPath: *reportPath, PlanCSVPath: *planCSV,
 		ProgressMode: *progressMode,
 		MetricsAddr:  *metricsAddr, MetricsLinger: *metricsLinger,
 		CPUProfile: *cpuProfile, MemProfile: *memProfile,
+		PlanCacheDir: *planCache, PlanCacheMaxBytes: cacheMax,
+		PlanWorkers: *planWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -372,12 +394,13 @@ func runSingle(algo, topoSpec, size, engineName, faultSpec string, replan bool, 
 	if plan.Empty() {
 		plan = nil
 	}
-	tr, err := experiments.TraceAllReduceObserved(topo, alg, dataBytes, engine, bin, plan, run.PlanObserver())
+	tr, err := experiments.TraceAllReduceOpts(topo, alg, dataBytes, engine, bin, plan, run.BuildOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := tr.Point
 	run.SetTopology(topo, tr.Sched)
+	run.NoteCacheKey(topo, algo, int(dataBytes/collective.WordSize), 0)
 	run.Report.Algorithm = algo
 	run.Report.DataBytes = dataBytes
 	run.Report.Engine = engine.String()
@@ -511,7 +534,7 @@ func runFig9(fig, topoOverride, maxSz, engineName string, workers int, jsonOut b
 		if err != nil {
 			log.Fatal(err)
 		}
-		points, err := experiments.Fig9ParallelObserved(topo, experiments.Fig9Sizes(maxBytes), engine, workers, run.PlanObserver())
+		points, err := experiments.Fig9ParallelOpts(topo, experiments.Fig9Sizes(maxBytes), engine, workers, run.BuildOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,7 +32,13 @@
 // The shared observability flags of allreduce-bench also apply here:
 // -report writes the versioned run report, -planprofile the planner
 // phase CSV, -progress live planner progress on stderr, and
-// -cpuprofile/-memprofile the pprof profiles.
+// -cpuprofile/-memprofile the pprof profiles. So do the planner-scaling
+// flags: -plan-workers N grows trees in parallel (the schedule is
+// byte-identical for every N), and -plan-cache DIR makes -export load a
+// previously built schedule from the content-addressed cache instead of
+// re-planning it.
+//
+//	schedule-dump -topo mesh-32x32 -algo multitree -plan-cache /tmp/plans -export mt.json
 package main
 
 import (
@@ -82,6 +88,8 @@ func main() {
 		reportPath   = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
 		planCSV      = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
+		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory for -export: schedules load from it when present and are stored after a fresh build")
+		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
 	)
 	flag.Parse()
 
@@ -99,6 +107,7 @@ func main() {
 		ReportPath: *reportPath, PlanCSVPath: *planCSV,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
+		PlanCacheDir: *planCache, PlanWorkers: *planWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -116,6 +125,7 @@ func main() {
 	}
 	opts := core.DefaultOptions(topo)
 	opts.Observer = run.PlanObserver()
+	opts.Workers = *planWorkers
 	trees, err := core.BuildTrees(topo, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -218,11 +228,13 @@ func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string,
 	if err != nil {
 		log.Fatal(err)
 	}
-	s, err := algorithms.Build(topo, spec.Name, int(dataBytes/collective.WordSize), algorithms.Options{Observer: run.PlanObserver()})
+	elems := int(dataBytes / collective.WordSize)
+	s, err := algorithms.Build(topo, spec.Name, elems, run.BuildOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	run.SetTopology(topo, s)
+	run.NoteCacheKey(topo, spec.Name, elems, 0)
 	run.Report.Algorithm = spec.Name
 	run.Report.DataBytes = dataBytes
 	run.Option("faults", faultSpec)

@@ -19,7 +19,9 @@
 //
 // The shared observability flags of allreduce-bench also apply here:
 // -report writes the versioned run report, -progress live planner
-// progress on stderr, and -cpuprofile/-memprofile the pprof profiles.
+// progress on stderr, and -cpuprofile/-memprofile the pprof profiles —
+// as do the planner-scaling flags -plan-workers (parallel tree growth)
+// and -plan-cache (content-addressed on-disk schedule cache).
 package main
 
 import (
@@ -63,6 +65,8 @@ func main() {
 		memProfile   = flag.String("memprofile", "", "write an allocation profile taken at exit to this file")
 		reportPath   = flag.String("report", "", "write a structured run report (versioned JSON) to this file")
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
+		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory: gradient all-reduce schedules load from it when present and are stored after a fresh build")
+		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
 	)
 	flag.Parse()
 
@@ -82,6 +86,7 @@ func main() {
 		ReportPath:   *reportPath,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
+		PlanCacheDir: *planCache, PlanWorkers: *planWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -154,12 +159,13 @@ func traceGradientAllReduce(topo *topology.Topology, modelName, algo, traceOut, 
 		log.Fatalf("algorithm %q does not support %s", spec.Name, topo.Name())
 	}
 	alg := experiments.AlgSpec{Name: algo, Msg: msg}
-	tr, err := experiments.TraceAllReduceObserved(topo, alg, net.GradientBytes(), experiments.Fluid, bin, nil, run.PlanObserver())
+	tr, err := experiments.TraceAllReduceOpts(topo, alg, net.GradientBytes(), experiments.Fluid, bin, nil, run.BuildOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	p := tr.Point
 	run.SetTopology(topo, tr.Sched)
+	run.NoteCacheKey(topo, algo, int(net.GradientBytes()/collective.WordSize), 0)
 	run.Report.Algorithm = algo
 	run.Report.DataBytes = p.DataBytes
 	run.Report.Engine = experiments.Fluid.String()
@@ -208,6 +214,7 @@ func printLayerProfile(topo *topology.Topology, name string, run *cliutil.Run) {
 	}
 	opts := core.DefaultOptions(topo)
 	opts.Observer = run.PlanObserver()
+	opts.Workers = run.BuildOptions().Workers
 	trees, err := core.BuildTrees(topo, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -23,6 +23,7 @@ import (
 
 	"multitree/internal/collective"
 	"multitree/internal/obs"
+	"multitree/internal/plancache"
 	"multitree/internal/topology"
 )
 
@@ -39,6 +40,16 @@ type Options struct {
 	// Chunks is the pipeline depth for chunk-pipelined algorithms
 	// (dbtree); <= 0 selects the algorithm's default.
 	Chunks int
+
+	// Workers bounds planner parallelism for algorithms with a parallel
+	// construction path (multitree's speculative tree growth); <= 1 means
+	// sequential. The schedule built is identical for every value.
+	Workers int
+
+	// Cache, when non-nil, is probed before construction and updated
+	// after it (see Build). Only schedule-shaping inputs enter the cache
+	// key; Workers and Observer do not.
+	Cache *plancache.Cache
 
 	// Observer receives planner lifecycle callbacks (phase wall time,
 	// counters, progress) from algorithms that support them; nil keeps
@@ -184,11 +195,45 @@ func Supporting(topo *topology.Topology) []Spec {
 }
 
 // Build resolves name (MsgSuffix variants included) and constructs its
-// schedule.
+// schedule. With opts.Cache set, the cache is probed first — keyed by the
+// base algorithm name, so "multitree" and "multitree-msg" share one entry
+// (they build identical schedules; only the simulator's flow control
+// differs) — and a fresh build is stored back on a miss. Cache traffic is
+// reported to opts.Observer under obs.PhaseCacheLookup.
 func Build(topo *topology.Topology, name string, elems int, opts Options) (*collective.Schedule, error) {
 	spec, _, err := Resolve(name)
 	if err != nil {
 		return nil, err
 	}
-	return spec.Build(topo, elems, opts)
+	if opts.Cache == nil {
+		return spec.Build(topo, elems, opts)
+	}
+	key := plancache.Key(topo, spec.Name, elems, opts.Chunks)
+	o := opts.Observer
+	if o != nil {
+		o.PhaseStart(obs.PhaseCacheLookup)
+	}
+	if s, n, ok := opts.Cache.Get(key, topo); ok {
+		if o != nil {
+			o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheHits: 1, CacheBytes: n})
+		}
+		return s, nil
+	}
+	if o != nil {
+		o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheMisses: 1})
+	}
+	s, err := spec.Build(topo, elems, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Best-effort store: a failed Put is logged by the cache and costs a
+	// rebuild next run, never this one.
+	if o != nil {
+		o.PhaseStart(obs.PhaseCacheLookup)
+	}
+	n, _ := opts.Cache.Put(key, s)
+	if o != nil {
+		o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheBytes: n})
+	}
+	return s, nil
 }

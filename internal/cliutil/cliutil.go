@@ -17,8 +17,10 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"multitree/internal/algorithms"
 	"multitree/internal/collective"
 	"multitree/internal/obs"
+	"multitree/internal/plancache"
 	"multitree/internal/topology"
 )
 
@@ -145,6 +147,10 @@ type Config struct {
 	MetricsLinger time.Duration // -metrics-linger: keep serving after the run
 
 	CPUProfile, MemProfile string // -cpuprofile / -memprofile
+
+	PlanCacheDir      string // -plan-cache: content-addressed plan cache directory
+	PlanCacheMaxBytes int64  // -plan-cache-max-bytes: LRU size cap, <= 0 uncapped
+	PlanWorkers       int    // -plan-workers: parallel tree growth, <= 1 sequential
 }
 
 // Run is one invocation's live observability state: the report being
@@ -157,8 +163,10 @@ type Run struct {
 	Profile  *obs.PlanProfile
 	Progress *obs.Progress
 	Prom     *obs.PromHandler
+	Cache    *plancache.Cache
 
 	cfg          Config
+	cacheKey     string
 	start        time.Time
 	startAlloc   uint64
 	stopProfiles func()
@@ -179,6 +187,19 @@ func StartRun(cfg Config) (*Run, error) {
 	// default planner path on its proven nil-observer fast path.
 	if cfg.ReportPath != "" || cfg.PlanCSVPath != "" || cfg.MetricsAddr != "" {
 		r.Profile = obs.NewPlanProfile()
+	}
+	if cfg.PlanCacheDir != "" {
+		c, err := plancache.Open(cfg.PlanCacheDir, cfg.PlanCacheMaxBytes)
+		if err != nil {
+			r.stopProfiles()
+			return nil, err
+		}
+		c.Log = log.Printf // cache degradations (corrupt entries) stay visible
+		r.Cache = c
+		r.Option("plan_cache", cfg.PlanCacheDir)
+	}
+	if cfg.PlanWorkers > 1 {
+		r.Option("plan_workers", fmt.Sprintf("%d", cfg.PlanWorkers))
 	}
 	if cfg.MetricsAddr != "" {
 		r.Prom = obs.NewPromHandler()
@@ -210,6 +231,31 @@ func (r *Run) PlanObserver() obs.PlanObserver {
 		os = append(os, r.Progress)
 	}
 	return obs.TeePlan(os...)
+}
+
+// BuildOptions returns the planner options to thread into schedule
+// builds: the run's observer fan-out, the plan cache, and the worker
+// count. Callers set per-build knobs (Chunks) on the returned value.
+func (r *Run) BuildOptions() algorithms.Options {
+	return algorithms.Options{
+		Workers:  r.cfg.PlanWorkers,
+		Cache:    r.Cache,
+		Observer: r.PlanObserver(),
+	}
+}
+
+// NoteCacheKey records, for single-schedule runs, the cache key the
+// build probed, so the report's plan_cache section names the entry. A
+// no-op without a cache or for unknown algorithm names.
+func (r *Run) NoteCacheKey(topo *topology.Topology, algorithm string, elems, chunks int) {
+	if r.Cache == nil {
+		return
+	}
+	spec, _, err := algorithms.Resolve(algorithm)
+	if err != nil {
+		return
+	}
+	r.cacheKey = plancache.Key(topo, spec.Name, elems, chunks)
 }
 
 // ObserveSim folds one simulation's metrics into the run: the metrics
@@ -282,6 +328,22 @@ func (r *Run) Finish() error {
 	r.Report.Wall.TotalNanos = total
 	if r.Profile != nil {
 		r.Report.Planner = r.Profile.Report()
+	}
+	if r.Cache != nil {
+		st := r.Cache.Stats()
+		pc := obs.PlanCacheReport{
+			Dir:          r.Cache.Dir(),
+			Key:          r.cacheKey,
+			Hits:         st.Hits,
+			Misses:       st.Misses,
+			BytesRead:    st.BytesRead,
+			BytesWritten: st.BytesWritten,
+			Evictions:    st.Evictions,
+		}
+		r.Report.PlanCache = &pc
+		if r.Prom != nil {
+			r.Prom.ObservePlanCache(pc)
+		}
 	}
 	if r.Report.Sim != nil {
 		var ms runtime.MemStats

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multitree/internal/collective"
+	"multitree/internal/obs"
+	"multitree/internal/topology"
+)
+
+// This file is the tree-growth engine behind BuildTrees: Algorithm 1's
+// main loop over a word-packed per-step link pool, with memoized search
+// failures and optional speculative parallel turns. Whatever the worker
+// count, the trees produced are byte-identical to a sequential run —
+// parallelism and memoization only skip work whose outcome is already
+// proven.
+//
+// Three facts carry all of the pruning, each a consequence of the same
+// step invariant (within a time step the link pool only shrinks, a tree
+// only grows, and the eligible-parent lists are frozen):
+//
+//   - A tree whose turn found no free path stays stuck for the rest of
+//     the step (stalledAt).
+//   - A parent whose search failed this step keeps failing this step
+//     (treeMemo.failedAt).
+//   - A parent whose search failed without meeting one occupied link has
+//     seen its entire reachable neighborhood already in the tree; it is
+//     dead for every future step too (treeMemo.dead).
+//
+// Parallel rounds speculate: every still-active tree searches the
+// round-start pool snapshot concurrently while recording the links it
+// read. Commits then replay the sequential turn order; a speculative
+// result whose read set is disjoint from the links earlier turns claimed
+// is provably the result the sequential search would have produced, and
+// only the others re-run against the live pool.
+
+// growth is the scratch state of one Algorithm 1 run.
+type growth struct {
+	topo *topology.Topology
+	opts Options
+	n, k int
+
+	trees   []*collective.Tree
+	inTree  [][]bool
+	members []int
+	parents [][]topology.NodeID // usable as parents (added in previous steps), in addition order
+	pending [][]topology.NodeID // added during the current step, merged at step end
+	memo    []*treeMemo
+
+	// stalledAt[ti] stamps the step whose link pool tree ti exhausted:
+	// its turn found no free path, so it sits out the step's remaining
+	// rounds.
+	stalledAt []int32
+
+	ecc []int
+
+	avail bitset      // the step's link pool: set = free
+	seq   *pathFinder // the sequential / commit-path finder
+
+	c obs.PlanCounters
+
+	// treeOrder scratch, reused every round.
+	orderIdx []int
+	orderRem []int
+
+	// Speculative-round state, allocated only for Workers > 1.
+	workers     int
+	finders     []*pathFinder
+	roundAvail  bitset // pool snapshot the round's speculation ran against
+	claimed     bitset // links committed by earlier turns this round
+	active      []int  // trees taking a turn this round, in turn order
+	specChild   []topology.NodeID
+	specParent  []topology.NodeID
+	specPath    [][]topology.LinkID
+	specTouched []bitset
+	cursor      atomic.Int64
+}
+
+// growTrees is the tree-growth phase body: Algorithm 1's main loop with
+// the per-step link allocation. It always maintains the PlanCounters —
+// integer adds cost nothing worth branching around — and reports per-step
+// progress only when an observer is attached.
+func growTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, obs.PlanCounters, error) {
+	return newGrowth(topo, opts).run()
+}
+
+func newGrowth(topo *topology.Topology, opts Options) *growth {
+	n := topo.Nodes()
+	k := n // one tree per node by default
+	if opts.Trees > 0 && opts.Trees < n {
+		k = opts.Trees
+	}
+	g := &growth{topo: topo, opts: opts, n: n, k: k, workers: opts.Workers}
+	g.trees = make([]*collective.Tree, k)
+	g.inTree = make([][]bool, k)
+	g.members = make([]int, k)
+	g.parents = make([][]topology.NodeID, k)
+	g.pending = make([][]topology.NodeID, k)
+	g.memo = make([]*treeMemo, k)
+	g.stalledAt = make([]int32, k)
+	for i := 0; i < k; i++ {
+		g.trees[i] = collective.NewTree(i, topology.NodeID(i), n)
+		g.inTree[i] = make([]bool, n)
+		g.inTree[i][i] = true
+		g.members[i] = 1
+		g.parents[i] = []topology.NodeID{topology.NodeID(i)}
+		g.memo[i] = newTreeMemo(n)
+	}
+	if opts.Order == ByRemainingHeight {
+		g.ecc = eccentricities(topo, opts.Workers)
+	}
+	g.avail = newBitset(len(topo.Links()))
+	g.seq = newPathFinder(topo, opts.ReverseNeighborOrder)
+	g.seq.shortestFirst = opts.ShortestPathFirst
+	g.orderIdx = make([]int, k)
+	g.orderRem = make([]int, k)
+	if g.workers > 1 {
+		g.finders = make([]*pathFinder, g.workers)
+		g.finders[0] = g.seq
+		for i := 1; i < g.workers; i++ {
+			g.finders[i] = newPathFinder(topo, opts.ReverseNeighborOrder)
+			g.finders[i].shortestFirst = opts.ShortestPathFirst
+		}
+		g.roundAvail = newBitset(len(topo.Links()))
+		g.claimed = newBitset(len(topo.Links()))
+		g.active = make([]int, 0, k)
+		g.specChild = make([]topology.NodeID, k)
+		g.specParent = make([]topology.NodeID, k)
+		g.specPath = make([][]topology.LinkID, k)
+		g.specTouched = make([]bitset, k)
+		for i := range g.specTouched {
+			g.specTouched[i] = newBitset(len(topo.Links()))
+		}
+	}
+	return g
+}
+
+func (g *growth) run() ([]*collective.Tree, obs.PlanCounters, error) {
+	o := g.opts.Observer
+	// Every tree must attach all other nodes: the unit of progress.
+	totalAttach := int64(g.k) * int64(g.n-1)
+	for t := int32(1); ; t++ {
+		if complete(g.members, g.n) {
+			g.fold()
+			return g.trees, g.c, nil
+		}
+		if int(t) > 2*len(g.topo.Links())+2 {
+			g.fold()
+			return nil, g.c, fmt.Errorf("multitree: construction did not converge on %s", g.topo.Name())
+		}
+		// Start a new time step with a fresh topology graph (line 6).
+		g.avail.fill()
+		addedThisStep := 0
+		for {
+			var added int
+			if g.workers > 1 {
+				added = g.roundParallel(t)
+			} else {
+				added = g.roundSequential(t)
+			}
+			if added == 0 {
+				break
+			}
+			addedThisStep += added
+		}
+		if addedThisStep == 0 {
+			g.fold()
+			return nil, g.c, fmt.Errorf("multitree: no progress at step %d on %s (disconnected graph?)", t, g.topo.Name())
+		}
+		g.c.Steps++
+		if o != nil {
+			o.PlanProgress(obs.PhaseTreeGrowth, g.c.NodesAttached, totalAttach)
+		}
+		// Nodes added this step become eligible parents next step.
+		for ti := 0; ti < g.k; ti++ {
+			g.parents[ti] = append(g.parents[ti], g.pending[ti]...)
+			g.pending[ti] = g.pending[ti][:0]
+		}
+	}
+}
+
+// roundSequential gives every unfinished, unstalled tree one turn in
+// order, committing each result before the next tree searches.
+func (g *growth) roundSequential(t int32) int {
+	added := 0
+	for _, ti := range g.order() {
+		if g.members[ti] == g.n || g.stalledAt[ti] == t {
+			continue
+		}
+		child, parent, path := g.seq.find(g.parents[ti], g.inTree[ti], g.avail, g.memo[ti], t)
+		if child < 0 {
+			g.stalledAt[ti] = t
+			continue
+		}
+		g.commit(ti, child, parent, path, t)
+		added++
+	}
+	return added
+}
+
+// roundParallel runs the same round speculatively: all active trees
+// search the round-start pool snapshot concurrently, then results commit
+// in sequential turn order, replaying only the searches whose read set
+// overlaps links claimed by an earlier turn. The committed trees are
+// exactly the sequential round's.
+func (g *growth) roundParallel(t int32) int {
+	g.active = g.active[:0]
+	for _, ti := range g.order() {
+		if g.members[ti] == g.n || g.stalledAt[ti] == t {
+			continue
+		}
+		g.active = append(g.active, ti)
+	}
+	if len(g.active) == 0 {
+		return 0
+	}
+	if len(g.active) == 1 {
+		// One turn left: speculation buys nothing.
+		ti := g.active[0]
+		child, parent, path := g.seq.find(g.parents[ti], g.inTree[ti], g.avail, g.memo[ti], t)
+		if child < 0 {
+			g.stalledAt[ti] = t
+			return 0
+		}
+		g.commit(ti, child, parent, path, t)
+		return 1
+	}
+	copy(g.roundAvail, g.avail)
+	g.claimed.zero()
+	g.cursor.Store(0)
+	w := g.workers
+	if w > len(g.active) {
+		w = len(g.active)
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < w; i++ {
+		wg.Add(1)
+		go func(f *pathFinder) {
+			defer wg.Done()
+			g.speculate(f, t)
+		}(g.finders[i])
+	}
+	g.speculate(g.seq, t)
+	wg.Wait()
+
+	added := 0
+	for _, ti := range g.active {
+		child, parent, path := g.specChild[ti], g.specParent[ti], g.specPath[ti]
+		if child < 0 {
+			// Failed against a superset of the live pool: the live search
+			// would fail too.
+			g.stalledAt[ti] = t
+			continue
+		}
+		if g.specTouched[ti].intersects(g.claimed) {
+			// An earlier turn claimed a link this search read; replay it
+			// against the live pool, exactly as the sequential round would
+			// have run it.
+			child, parent, path = g.seq.find(g.parents[ti], g.inTree[ti], g.avail, g.memo[ti], t)
+			if child < 0 {
+				g.stalledAt[ti] = t
+				continue
+			}
+		}
+		for _, l := range path {
+			g.claimed.set(int(l))
+		}
+		g.commit(ti, child, parent, path, t)
+		added++
+	}
+	return added
+}
+
+// speculate is the worker body: trees are pulled off a shared cursor, so
+// each active tree is searched by exactly one goroutine — its memo is
+// written race-free, and the failure stamps stay valid for the commit
+// phase because speculation ran with strictly more links available.
+func (g *growth) speculate(f *pathFinder, t int32) {
+	for {
+		i := int(g.cursor.Add(1)) - 1
+		if i >= len(g.active) {
+			return
+		}
+		ti := g.active[i]
+		tb := g.specTouched[ti]
+		tb.zero()
+		f.touched = tb
+		c, p, path := f.find(g.parents[ti], g.inTree[ti], g.roundAvail, g.memo[ti], t)
+		f.touched = nil
+		g.specChild[ti], g.specParent[ti], g.specPath[ti] = c, p, path
+	}
+}
+
+// commit claims the path from the step's pool and attaches child to tree
+// ti.
+func (g *growth) commit(ti int, child, parent topology.NodeID, path []topology.LinkID, t int32) {
+	for _, l := range path {
+		g.avail.clear(int(l))
+	}
+	g.c.LinksAllocated += int64(len(path))
+	g.trees[ti].SetEdge(parent, child, int(t))
+	g.trees[ti].Path[child] = path
+	g.inTree[ti][child] = true
+	g.members[ti]++
+	g.c.NodesAttached++
+	if g.members[ti] == g.n {
+		g.c.TreesGrown++
+	}
+	g.pending[ti] = append(g.pending[ti], child)
+}
+
+// fold accumulates every finder's search counters into the run's.
+func (g *growth) fold() {
+	g.seq.fold(&g.c)
+	for _, f := range g.finders {
+		if f != g.seq {
+			f.fold(&g.c)
+		}
+	}
+}
+
+// order returns the indices of the trees in the order they take turns
+// this round, into scratch reused across rounds.
+func (g *growth) order() []int {
+	idx := g.orderIdx
+	for i := range idx {
+		idx[i] = i
+	}
+	if g.opts.Order != ByRemainingHeight {
+		return idx // ascending root id
+	}
+	remaining := g.orderRem
+	for i, tr := range g.trees {
+		remaining[i] = g.ecc[i] - tr.Height()
+	}
+	// Insertion sort, descending remaining height, ties by root id.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j], idx[j-1]
+			if remaining[a] > remaining[b] || (remaining[a] == remaining[b] && a < b) {
+				idx[j], idx[j-1] = idx[j-1], idx[j]
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}
+
+func complete(members []int, n int) bool {
+	for _, m := range members {
+		if m != n {
+			return false
+		}
+	}
+	return true
+}
+
+// eccentricities returns each node's maximum hop distance to any other
+// node, measured over the full (unallocated) topology graph, traversing
+// switches freely. It estimates the final height of the tree rooted
+// there. The per-source searches are independent, so they reuse one
+// scratch set per worker and fan out across workers when asked.
+func eccentricities(topo *topology.Topology, workers int) []int {
+	n := topo.Nodes()
+	out := make([]int, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		s := newEccScratch(topo)
+		for src := 0; src < n; src++ {
+			out[src] = s.from(src)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newEccScratch(topo)
+			for {
+				src := int(next.Add(1)) - 1
+				if src >= n {
+					return
+				}
+				out[src] = s.from(src)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// eccScratch is one worker's reusable BFS state for eccentricities.
+type eccScratch struct {
+	topo           *topology.Topology
+	dist           []int32
+	frontier, next []int
+}
+
+func newEccScratch(topo *topology.Topology) *eccScratch {
+	return &eccScratch{
+		topo:     topo,
+		dist:     make([]int32, topo.Vertices()),
+		frontier: make([]int, 0, topo.Vertices()),
+		next:     make([]int, 0, topo.Vertices()),
+	}
+}
+
+func (s *eccScratch) from(src int) int {
+	t := s.topo
+	dist := s.dist
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	cur := s.frontier[:0]
+	cur = append(cur, src)
+	nxt := s.next[:0]
+	for len(cur) > 0 {
+		nxt = nxt[:0]
+		for _, v := range cur {
+			// In switch-based networks only switches forward, so a path
+			// cannot relay through another end node; in direct networks
+			// every node's integrated router forwards.
+			if t.Class() == topology.Indirect && t.IsNode(v) && v != src {
+				continue
+			}
+			for _, l := range t.Out(v) {
+				w := t.Link(l).Dst
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					nxt = append(nxt, w)
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+	}
+	s.frontier, s.next = cur, nxt // keep whichever capacity each grew
+	// Node-distance in construction steps: switch hops are internal to a
+	// single scheduled edge, so eccentricity counts destination nodes
+	// only. A conservative proxy is the max node distance in links, which
+	// orders roots correctly on grids and trees alike.
+	ecc := 0
+	for d := 0; d < t.Nodes(); d++ {
+		if int(dist[d]) > ecc {
+			ecc = int(dist[d])
+		}
+	}
+	return ecc
+}

@@ -88,6 +88,16 @@ type Options struct {
 	// (TestPlanObserverNilZeroAlloc). The per-search counters themselves
 	// are plain integer fields and are maintained either way.
 	Observer obs.PlanObserver
+
+	// Workers grows independent trees in parallel goroutines (<= 1 means
+	// sequential). Each round speculates every active tree's search
+	// against the round-start link pool and commits in the sequential
+	// turn order, replaying searches invalidated by earlier commits — so
+	// the trees built are byte-identical for every worker count. The
+	// search counters are deterministic too, though the parallel path
+	// skips different redundant work than the sequential one, so counter
+	// totals may differ between Workers <= 1 and Workers > 1.
+	Workers int
 }
 
 // DefaultOptions returns the recommended construction options for a
@@ -118,102 +128,6 @@ func BuildTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, erro
 		o.PhaseEnd(obs.PhaseTreeGrowth, counters)
 	}
 	return trees, err
-}
-
-// growTrees is the tree-growth phase body: Algorithm 1's main loop with
-// the per-step link allocation. It always maintains the PlanCounters —
-// integer adds cost nothing worth branching around — and reports per-step
-// progress only when an observer is attached.
-func growTrees(topo *topology.Topology, opts Options) ([]*collective.Tree, obs.PlanCounters, error) {
-	o := opts.Observer
-	var c obs.PlanCounters
-	n := topo.Nodes()
-	k := n // one tree per node by default
-	if opts.Trees > 0 && opts.Trees < n {
-		k = opts.Trees
-	}
-	trees := make([]*collective.Tree, k)
-	inTree := make([][]bool, k)             // inTree[t][node]
-	members := make([]int, k)               // node count per tree
-	parents := make([][]topology.NodeID, k) // nodes usable as parents (added in previous steps), in addition order
-	var pending [][]topology.NodeID         // nodes added during the current step, merged at step end
-	pending = make([][]topology.NodeID, k)
-	for i := 0; i < k; i++ {
-		trees[i] = collective.NewTree(i, topology.NodeID(i), n)
-		inTree[i] = make([]bool, n)
-		inTree[i][i] = true
-		members[i] = 1
-		parents[i] = []topology.NodeID{topology.NodeID(i)}
-	}
-
-	var ecc []int
-	if opts.Order == ByRemainingHeight {
-		ecc = eccentricities(topo)
-	}
-
-	avail := make([]bool, len(topo.Links()))
-	alloc := newPathFinder(topo, opts.ReverseNeighborOrder)
-	alloc.shortestFirst = opts.ShortestPathFirst
-
-	// Every tree must attach all other nodes: the unit of progress.
-	totalAttach := int64(k) * int64(n-1)
-
-	for t := 1; ; t++ {
-		if complete(members, n) {
-			alloc.fold(&c)
-			return trees, c, nil
-		}
-		if t > 2*len(topo.Links())+2 {
-			alloc.fold(&c)
-			return nil, c, fmt.Errorf("multitree: construction did not converge on %s", topo.Name())
-		}
-		// Start a new time step with a fresh topology graph (line 6).
-		for i := range avail {
-			avail[i] = true
-		}
-		addedThisStep := 0
-		for {
-			progress := false
-			for _, ti := range treeOrder(members, ecc, trees, opts.Order) {
-				if members[ti] == n {
-					continue
-				}
-				if child, parent, path := alloc.find(parents[ti], inTree[ti], avail); child >= 0 {
-					for _, l := range path {
-						avail[l] = false
-					}
-					c.LinksAllocated += int64(len(path))
-					trees[ti].SetEdge(parent, child, t)
-					trees[ti].Path[child] = path
-					inTree[ti][child] = true
-					members[ti]++
-					c.NodesAttached++
-					if members[ti] == n {
-						c.TreesGrown++
-					}
-					pending[ti] = append(pending[ti], child)
-					addedThisStep++
-					progress = true
-				}
-			}
-			if !progress {
-				break
-			}
-		}
-		if addedThisStep == 0 {
-			alloc.fold(&c)
-			return nil, c, fmt.Errorf("multitree: no progress at step %d on %s (disconnected graph?)", t, topo.Name())
-		}
-		c.Steps++
-		if o != nil {
-			o.PlanProgress(obs.PhaseTreeGrowth, c.NodesAttached, totalAttach)
-		}
-		// Nodes added this step become eligible parents next step.
-		for ti := 0; ti < k; ti++ {
-			parents[ti] = append(parents[ti], pending[ti]...)
-			pending[ti] = pending[ti][:0]
-		}
-	}
 }
 
 // buildAuto constructs trees under both allocation strategies and keeps
@@ -358,237 +272,4 @@ func (p *pipelineTracker) finish() {
 	}
 	p.done = p.total
 	p.inner.Pipeline(p.done, p.total)
-}
-
-func complete(members []int, n int) bool {
-	for _, m := range members {
-		if m != n {
-			return false
-		}
-	}
-	return true
-}
-
-// treeOrder returns the indices of the trees in the order they take turns
-// this round.
-func treeOrder(members, ecc []int, trees []*collective.Tree, order TreeOrder) []int {
-	n := len(trees)
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	if order != ByRemainingHeight {
-		return idx // ascending root id
-	}
-	remaining := make([]int, n)
-	for i, tr := range trees {
-		remaining[i] = ecc[i] - tr.Height()
-	}
-	// Insertion sort, descending remaining height, ties by root id.
-	for i := 1; i < n; i++ {
-		for j := i; j > 0; j-- {
-			a, b := idx[j], idx[j-1]
-			if remaining[a] > remaining[b] || (remaining[a] == remaining[b] && a < b) {
-				idx[j], idx[j-1] = idx[j-1], idx[j]
-			} else {
-				break
-			}
-		}
-	}
-	return idx
-}
-
-// eccentricities returns each node's maximum hop distance to any other
-// node, measured over the full (unallocated) topology graph, traversing
-// switches freely. It estimates the final height of the tree rooted there.
-func eccentricities(topo *topology.Topology) []int {
-	n := topo.Nodes()
-	out := make([]int, n)
-	for src := 0; src < n; src++ {
-		dist := make([]int, topo.Vertices())
-		for i := range dist {
-			dist[i] = -1
-		}
-		dist[src] = 0
-		frontier := []int{src}
-		for len(frontier) > 0 {
-			var next []int
-			for _, v := range frontier {
-				// In switch-based networks only switches forward, so a
-				// path cannot relay through another end node; in direct
-				// networks every node's integrated router forwards.
-				if topo.Class() == topology.Indirect && topo.IsNode(v) && v != src {
-					continue
-				}
-				for _, l := range topo.Out(v) {
-					w := topo.Link(l).Dst
-					if dist[w] < 0 {
-						dist[w] = dist[v] + 1
-						next = append(next, w)
-					}
-				}
-			}
-			frontier = next
-		}
-		// Node-distance in construction steps: switch hops are internal to
-		// a single scheduled edge, so eccentricity counts destination
-		// nodes only. A conservative proxy is the max node distance in
-		// links, which orders roots correctly on grids and trees alike.
-		for d := 0; d < n; d++ {
-			if dist[d] > out[src] {
-				out[src] = dist[d]
-			}
-		}
-	}
-	return out
-}
-
-// pathFinder performs the per-parent breadth-first child search of
-// Algorithm 1 line 10 (direct networks: a free one-hop edge) and its
-// indirect-network extension §III-C3 (a free node-switch-...-node path).
-type pathFinder struct {
-	topo    *topology.Topology
-	reverse bool
-
-	// members, when non-nil, restricts candidate children to member nodes
-	// (subset all-reduce, §VII-B); in direct networks non-member nodes'
-	// routers still forward, so the search expands through them.
-	members []bool
-
-	// shortestFirst selects the Options.ShortestPathFirst allocation.
-	shortestFirst bool
-
-	// Search counters, maintained unconditionally (integer adds): turns
-	// of Algorithm 1 line 10, the turns that found no free path, links
-	// examined, and links skipped because another tree held them this
-	// step. growTrees folds them into the phase counters at the end.
-	searches      int64
-	searchMisses  int64
-	linksScanned  int64
-	linkConflicts int64
-
-	// scratch, reused across calls to avoid allocation in the hot loop.
-	visited []bool
-	via     []topology.LinkID
-	queue   []int
-}
-
-func newPathFinder(topo *topology.Topology, reverse bool) *pathFinder {
-	return &pathFinder{
-		topo:    topo,
-		reverse: reverse,
-		visited: make([]bool, topo.Vertices()),
-		via:     make([]topology.LinkID, topo.Vertices()),
-	}
-}
-
-// fold accumulates the search counters into c.
-func (f *pathFinder) fold(c *obs.PlanCounters) {
-	c.Searches += f.searches
-	c.SearchMisses += f.searchMisses
-	c.LinksScanned += f.linksScanned
-	c.LinkConflicts += f.linkConflicts
-}
-
-// find scans candidate parents in their order of addition and returns the
-// first (child, parent, allocated path) reachable over free links, or
-// child = -1 when no parent can extend the tree this step. With
-// shortestFirst set it instead returns the globally shortest free path
-// over all parents.
-func (f *pathFinder) find(parents []topology.NodeID, inTree, avail []bool) (topology.NodeID, topology.NodeID, []topology.LinkID) {
-	f.searches++
-	if !f.shortestFirst {
-		for _, p := range parents {
-			if c, path := f.bfs(int(p), inTree, avail); c >= 0 {
-				return c, p, path
-			}
-		}
-		f.searchMisses++
-		return -1, -1, nil
-	}
-	bestChild := topology.NodeID(-1)
-	var bestParent topology.NodeID
-	var bestPath []topology.LinkID
-	for _, p := range parents {
-		c, path := f.bfs(int(p), inTree, avail)
-		if c < 0 {
-			continue
-		}
-		if bestChild < 0 || len(path) < len(bestPath) {
-			bestChild, bestParent, bestPath = c, p, path
-			if len(bestPath) <= 1 || (f.topo.Class() == topology.Indirect && len(bestPath) == 2) {
-				break // cannot do better than a direct / same-switch hop
-			}
-		}
-	}
-	if bestChild < 0 {
-		f.searchMisses++
-	}
-	return bestChild, bestParent, bestPath
-}
-
-// bfs searches from parent vertex start over available links. Expansion
-// passes only through switch vertices; the first node vertex found that is
-// not yet in the tree is returned together with its link path. Out-links
-// are scanned in the topology's preference order (or reversed for the
-// ablation), so one-hop children and Y-dimension neighbors win ties.
-func (f *pathFinder) bfs(start int, inTree, avail []bool) (topology.NodeID, []topology.LinkID) {
-	t := f.topo
-	for i := range f.visited {
-		f.visited[i] = false
-		f.via[i] = -1
-	}
-	f.queue = f.queue[:0]
-	f.visited[start] = true
-	f.queue = append(f.queue, start)
-	for qi := 0; qi < len(f.queue); qi++ {
-		v := f.queue[qi]
-		links := t.Out(v)
-		for li := 0; li < len(links); li++ {
-			id := links[li]
-			if f.reverse {
-				id = links[len(links)-1-li]
-			}
-			f.linksScanned++
-			if !avail[id] {
-				f.linkConflicts++
-				continue
-			}
-			w := t.Link(id).Dst
-			if f.visited[w] {
-				continue
-			}
-			f.visited[w] = true
-			f.via[w] = id
-			if t.IsNode(w) {
-				if f.members != nil && !f.members[w] {
-					// Non-member accelerator: not a candidate child, but
-					// its integrated router forwards in direct networks.
-					if t.Class() == topology.Direct {
-						f.queue = append(f.queue, w)
-					}
-					continue
-				}
-				if !inTree[w] {
-					return topology.NodeID(w), f.pathTo(w, start)
-				}
-				continue // cannot relay through a participating end node
-			}
-			f.queue = append(f.queue, w)
-		}
-	}
-	return -1, nil
-}
-
-// pathTo reconstructs the link path start -> v from the via array.
-func (f *pathFinder) pathTo(v, start int) []topology.LinkID {
-	var rev []topology.LinkID
-	for u := v; u != start; u = f.topo.Link(f.via[u]).Src {
-		rev = append(rev, f.via[u])
-	}
-	path := make([]topology.LinkID, len(rev))
-	for i, id := range rev {
-		path[len(rev)-1-i] = id
-	}
-	return path
 }

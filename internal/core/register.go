@@ -17,6 +17,7 @@ func init() {
 		Build: func(topo *topology.Topology, elems int, aopts algorithms.Options) (*collective.Schedule, error) {
 			opts := DefaultOptions(topo)
 			opts.Observer = aopts.Observer
+			opts.Workers = aopts.Workers
 			return Build(topo, elems, opts)
 		},
 		Supports: func(topo *topology.Topology) bool { return topo.Nodes() >= 2 },

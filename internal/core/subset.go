@@ -58,11 +58,16 @@ func BuildSubsetTrees(topo *topology.Topology, members []topology.NodeID, opts O
 		parents[i] = []topology.NodeID{root}
 	}
 
-	avail := make([]bool, len(topo.Links()))
+	avail := newBitset(len(topo.Links()))
 	alloc := newPathFinder(topo, opts.ReverseNeighborOrder)
 	alloc.members = isMember
+	memo := make([]*treeMemo, count)
+	stalledAt := make([]int32, count)
+	for i := range memo {
+		memo[i] = newTreeMemo(n)
+	}
 
-	for t := 1; ; t++ {
+	for t := int32(1); ; t++ {
 		done := true
 		for _, m := range membersIn {
 			if m != count {
@@ -73,31 +78,32 @@ func BuildSubsetTrees(topo *topology.Topology, members []topology.NodeID, opts O
 		if done {
 			return trees, nil
 		}
-		if t > 4*len(topo.Links())+4 {
+		if int(t) > 4*len(topo.Links())+4 {
 			return nil, fmt.Errorf("multitree: subset construction did not converge on %s", topo.Name())
 		}
-		for i := range avail {
-			avail[i] = true
-		}
+		avail.fill()
 		added := 0
 		for {
 			progress := false
 			for ti := range trees {
-				if membersIn[ti] == count {
+				if membersIn[ti] == count || stalledAt[ti] == t {
 					continue
 				}
-				if child, parent, path := alloc.find(parents[ti], inTree[ti], avail); child >= 0 {
-					for _, l := range path {
-						avail[l] = false
-					}
-					trees[ti].SetEdge(parent, child, t)
-					trees[ti].Path[child] = path
-					inTree[ti][child] = true
-					membersIn[ti]++
-					pending[ti] = append(pending[ti], child)
-					added++
-					progress = true
+				child, parent, path := alloc.find(parents[ti], inTree[ti], avail, memo[ti], t)
+				if child < 0 {
+					stalledAt[ti] = t
+					continue
 				}
+				for _, l := range path {
+					avail.clear(int(l))
+				}
+				trees[ti].SetEdge(parent, child, int(t))
+				trees[ti].Path[child] = path
+				inTree[ti][child] = true
+				membersIn[ti]++
+				pending[ti] = append(pending[ti], child)
+				added++
+				progress = true
 			}
 			if !progress {
 				break

@@ -83,6 +83,13 @@ func BuildScheduleObserved(topo *topology.Topology, name string, elems int, o ob
 	return algorithms.Build(topo, name, elems, algorithms.Options{Observer: o})
 }
 
+// BuildScheduleOpts is BuildSchedule with the full planner option set:
+// observability, parallel construction, and the plan cache. The schedule
+// built is identical for every option combination.
+func BuildScheduleOpts(topo *topology.Topology, name string, elems int, opts algorithms.Options) (*collective.Schedule, error) {
+	return algorithms.Build(topo, name, elems, opts)
+}
+
 // AllReducePoint is one measurement of Fig. 9/10. The JSON tags define
 // the machine-readable result format of allreduce-bench -json, consumed
 // by perf-trajectory tracking.
@@ -114,9 +121,17 @@ func MeasureAllReduce(topo *topology.Topology, alg AlgSpec, dataBytes int64, eng
 // MeasureAllReduce; either way the point's PlanNanos carries the
 // construction share of WallNanos.
 func MeasureAllReduceObserved(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, o obs.PlanObserver) (AllReducePoint, error) {
+	return MeasureAllReduceOpts(topo, alg, dataBytes, engine, algorithms.Options{Observer: o})
+}
+
+// MeasureAllReduceOpts is MeasureAllReduce with the full planner option
+// set (observer, workers, plan cache). With a cache attached, PlanNanos
+// still reports the point's true schedule-acquisition cost — a hit makes
+// it milliseconds instead of minutes, which is the point.
+func MeasureAllReduceOpts(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, opts algorithms.Options) (AllReducePoint, error) {
 	start := time.Now()
 	elems := int(dataBytes / collective.WordSize)
-	s, err := BuildScheduleObserved(topo, alg.Name, elems, o)
+	s, err := BuildScheduleOpts(topo, alg.Name, elems, opts)
 	if err != nil {
 		return AllReducePoint{}, err
 	}
@@ -174,6 +189,14 @@ func Fig9Parallel(topo *topology.Topology, sizes []int64, engine Engine, workers
 // same-phase runs by charging the union interval). Nil behaves exactly
 // like Fig9Parallel.
 func Fig9ParallelObserved(topo *topology.Topology, sizes []int64, engine Engine, workers int, o obs.PlanObserver) ([]AllReducePoint, error) {
+	return Fig9ParallelOpts(topo, sizes, engine, workers, algorithms.Options{Observer: o})
+}
+
+// Fig9ParallelOpts is Fig9Parallel with the full planner option set. A
+// shared plan cache pays off twice here: the "-msg" variant of each
+// point hits the entry its base variant stored (they share one
+// schedule), and a re-run of the sweep hits everything.
+func Fig9ParallelOpts(topo *topology.Topology, sizes []int64, engine Engine, workers int, opts algorithms.Options) ([]AllReducePoint, error) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -197,7 +220,7 @@ func Fig9ParallelObserved(topo *topology.Topology, sizes []int64, engine Engine,
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				p, err := MeasureAllReduceObserved(topo, j.alg, j.bytes, engine, o)
+				p, err := MeasureAllReduceOpts(topo, j.alg, j.bytes, engine, opts)
 				if err != nil {
 					errs[j.idx] = fmt.Errorf("%s/%s/%d: %w", topo.Name(), j.alg.Name, j.bytes, err)
 					continue

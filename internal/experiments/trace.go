@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"multitree/internal/algorithms"
 	"multitree/internal/collective"
 	"multitree/internal/faults"
 	"multitree/internal/network"
@@ -48,12 +49,18 @@ func TraceAllReduceFaulty(topo *topology.Topology, alg AlgSpec, dataBytes int64,
 // construction into a PlanObserver, so traced runs carry the same planner
 // phase breakdown as plain measurements. Nil behaves identically.
 func TraceAllReduceObserved(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64, plan *faults.Plan, po obs.PlanObserver) (*TracedResult, error) {
+	return TraceAllReduceOpts(topo, alg, dataBytes, engine, binCycles, plan, algorithms.Options{Observer: po})
+}
+
+// TraceAllReduceOpts is TraceAllReduceFaulty with the full planner option
+// set (observer, workers, plan cache).
+func TraceAllReduceOpts(topo *topology.Topology, alg AlgSpec, dataBytes int64, engine Engine, binCycles float64, plan *faults.Plan, opts algorithms.Options) (*TracedResult, error) {
 	elems := int(dataBytes / collective.WordSize)
 	if elems < 1 {
 		return nil, fmt.Errorf("experiments: data size %d bytes is below one %d-byte element", dataBytes, collective.WordSize)
 	}
 	start := time.Now()
-	s, err := BuildScheduleObserved(topo, alg.Name, elems, po)
+	s, err := BuildScheduleOpts(topo, alg.Name, elems, opts)
 	if err != nil {
 		return nil, err
 	}

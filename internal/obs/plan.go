@@ -42,6 +42,11 @@ const (
 	// PhaseNICompile is the Fig. 5 table compilation (internal/ni).
 	PhaseNICompile
 
+	// PhaseCacheLookup is the plan-cache probe (internal/plancache): key
+	// derivation plus, on a hit, reading and strictly validating the
+	// stored schedule IR.
+	PhaseCacheLookup
+
 	// NumPlanPhases bounds the phase ids; new phases append before it so
 	// recorded profiles keep their meaning.
 	NumPlanPhases
@@ -58,6 +63,8 @@ func (p PlanPhase) String() string {
 		return "lowering"
 	case PhaseNICompile:
 		return "ni-compile"
+	case PhaseCacheLookup:
+		return "cache-lookup"
 	}
 	return "unknown"
 }
@@ -101,6 +108,13 @@ type PlanCounters struct {
 	// TableEntries is the number of NI schedule-table entries compiled
 	// (ni-compile).
 	TableEntries int64
+
+	// CacheHits/CacheMisses count plan-cache probes (cache-lookup) that
+	// returned a validated schedule / fell through to a build; CacheBytes
+	// is the IR bytes moved for them (read on hits, written on store).
+	CacheHits   int64
+	CacheMisses int64
+	CacheBytes  int64
 }
 
 // Add accumulates other into c.
@@ -115,6 +129,9 @@ func (c *PlanCounters) Add(other PlanCounters) {
 	c.LinksAllocated += other.LinksAllocated
 	c.Transfers += other.Transfers
 	c.TableEntries += other.TableEntries
+	c.CacheHits += other.CacheHits
+	c.CacheMisses += other.CacheMisses
+	c.CacheBytes += other.CacheBytes
 }
 
 // PlanObserver receives planner lifecycle callbacks. All methods must be
@@ -352,6 +369,9 @@ func (p *PlanProfile) Report() *PlanReport {
 			LinksAllocated: ph.Counters.LinksAllocated,
 			Transfers:      ph.Counters.Transfers,
 			TableEntries:   ph.Counters.TableEntries,
+			CacheHits:      ph.Counters.CacheHits,
+			CacheMisses:    ph.Counters.CacheMisses,
+			CacheBytes:     ph.Counters.CacheBytes,
 		})
 	}
 	return rep
@@ -362,15 +382,16 @@ func (p *PlanProfile) Report() *PlanReport {
 // is the format of the committed results/plan-profile-*.csv artifacts.
 func (p *PlanProfile) WriteCSV(w io.Writer) error {
 	rep := p.Report()
-	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,table_entries"); err != nil {
+	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,table_entries,cache_hits,cache_misses,cache_bytes"); err != nil {
 		return err
 	}
 	for _, ph := range rep.Phases {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			ph.Phase, ph.Runs, ph.WallNanos, ph.Share,
 			ph.Steps, ph.TreesGrown, ph.NodesAttached,
 			ph.Searches, ph.SearchMisses, ph.LinksScanned, ph.LinkConflicts,
-			ph.LinksAllocated, ph.Transfers, ph.TableEntries); err != nil {
+			ph.LinksAllocated, ph.Transfers, ph.TableEntries,
+			ph.CacheHits, ph.CacheMisses, ph.CacheBytes); err != nil {
 			return err
 		}
 	}
@@ -488,6 +509,8 @@ func (p *Progress) detail(ph PlanPhase, c PlanCounters) string {
 		return fmt.Sprintf(" (%d transfers)", c.Transfers)
 	case PhaseNICompile:
 		return fmt.Sprintf(" (%d table entries)", c.TableEntries)
+	case PhaseCacheLookup:
+		return fmt.Sprintf(" (%d hits, %d misses, %d bytes)", c.CacheHits, c.CacheMisses, c.CacheBytes)
 	}
 	return ""
 }

@@ -26,6 +26,9 @@ type PromHandler struct {
 
 	plan *PlanProfile
 
+	cache    PlanCacheReport // plan-cache store totals (ObservePlanCache)
+	hasCache bool
+
 	runs           int64
 	sim            MetricsSnapshot // accumulated across observed runs
 	engineQueueMax int64           // max across runs
@@ -39,6 +42,16 @@ func NewPromHandler() *PromHandler { return &PromHandler{} }
 func (h *PromHandler) SetPlanProfile(p *PlanProfile) {
 	h.mu.Lock()
 	h.plan = p
+	h.mu.Unlock()
+}
+
+// ObservePlanCache publishes the plan-cache store totals (hits, misses,
+// IR bytes moved, evictions). Call it whenever the stats move; the last
+// snapshot wins.
+func (h *PromHandler) ObservePlanCache(c PlanCacheReport) {
+	h.mu.Lock()
+	h.cache = c
+	h.hasCache = true
 	h.mu.Unlock()
 }
 
@@ -78,6 +91,7 @@ func (h *PromHandler) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 func (h *PromHandler) WriteProm(w io.Writer) error {
 	h.mu.Lock()
 	runs, sim, queueMax, plan := h.runs, h.sim, h.engineQueueMax, h.plan
+	cache, hasCache := h.cache, h.hasCache
 	h.mu.Unlock()
 
 	p := promWriter{w: w}
@@ -128,6 +142,13 @@ func (h *PromHandler) WriteProm(w io.Writer) error {
 			p.metric("multitree_plan_pipeline_done", "gauge", "Completed phase executions of the current build.", nil, float64(pdone))
 			p.metric("multitree_plan_pipeline_total", "gauge", "Total phase executions of the current build.", nil, float64(ptotal))
 		}
+	}
+	if hasCache {
+		p.metric("multitree_plan_cache_hits_total", "counter", "Plan-cache probes that returned a validated schedule.", nil, float64(cache.Hits))
+		p.metric("multitree_plan_cache_misses_total", "counter", "Plan-cache probes that fell through to a fresh build.", nil, float64(cache.Misses))
+		p.metric("multitree_plan_cache_read_bytes_total", "counter", "Schedule IR bytes loaded from the plan cache.", nil, float64(cache.BytesRead))
+		p.metric("multitree_plan_cache_written_bytes_total", "counter", "Schedule IR bytes stored into the plan cache.", nil, float64(cache.BytesWritten))
+		p.metric("multitree_plan_cache_evictions_total", "counter", "Plan-cache entries evicted to hold the size cap.", nil, float64(cache.Evictions))
 	}
 	return p.err
 }

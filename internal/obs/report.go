@@ -10,8 +10,16 @@ import (
 // RunReportSchema is the versioned identifier of the structured run
 // report. Decoders reject unknown schemas and unknown fields, so a
 // report either round-trips exactly or fails loudly — the property the
-// CI smoke step checks. Additions bump the version.
-const RunReportSchema = "multitree-runreport/v1"
+// CI smoke step checks. Additions bump the version; DecodeRunReport
+// keeps accepting the versions whose fields remain a subset of the
+// current struct (v2 added the additive plan_cache section, so v1
+// reports still decode).
+const RunReportSchema = "multitree-runreport/v2"
+
+// RunReportSchemaV1 is the previous schema identifier, still accepted by
+// DecodeRunReport: every v1 report is a valid v2 report without a
+// plan_cache section.
+const RunReportSchemaV1 = "multitree-runreport/v1"
 
 // RunReport is the machine-readable record of one CLI run: environment,
 // what was planned and simulated, where the wall time went, and the
@@ -46,6 +54,10 @@ type RunReport struct {
 
 	// Planner is the phase breakdown collected by a PlanProfile.
 	Planner *PlanReport `json:"planner,omitempty"`
+
+	// PlanCache summarizes the on-disk plan cache's activity, when one
+	// was attached (-plan-cache).
+	PlanCache *PlanCacheReport `json:"plan_cache,omitempty"`
 
 	// Sim aggregates engine-side counters for the run.
 	Sim *SimReport `json:"sim,omitempty"`
@@ -111,6 +123,22 @@ type PhaseReport struct {
 	LinksAllocated int64 `json:"links_allocated,omitempty"`
 	Transfers      int64 `json:"transfers,omitempty"`
 	TableEntries   int64 `json:"table_entries,omitempty"`
+	CacheHits      int64 `json:"cache_hits,omitempty"`
+	CacheMisses    int64 `json:"cache_misses,omitempty"`
+	CacheBytes     int64 `json:"cache_bytes,omitempty"`
+}
+
+// PlanCacheReport records one run's traffic against the content-addressed
+// plan cache: probe outcomes, IR bytes moved, evictions performed, and —
+// for single-schedule runs — the cache key probed.
+type PlanCacheReport struct {
+	Dir          string `json:"dir,omitempty"`
+	Key          string `json:"key,omitempty"`
+	Hits         int64  `json:"hits"`
+	Misses       int64  `json:"misses"`
+	BytesRead    int64  `json:"bytes_read,omitempty"`
+	BytesWritten int64  `json:"bytes_written,omitempty"`
+	Evictions    int64  `json:"evictions,omitempty"`
 }
 
 // SimReport aggregates engine-side observability for the run: the event
@@ -208,7 +236,7 @@ func DecodeRunReport(r io.Reader) (*RunReport, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("obs: invalid run report: %w", err)
 	}
-	if rep.Schema != RunReportSchema {
+	if rep.Schema != RunReportSchema && rep.Schema != RunReportSchemaV1 {
 		return nil, fmt.Errorf("obs: run report schema %q, want %q", rep.Schema, RunReportSchema)
 	}
 	var extra json.RawMessage

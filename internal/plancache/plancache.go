@@ -1,0 +1,233 @@
+// Package plancache is a content-addressed on-disk cache of built
+// schedules. Planning a 1024-node fabric costs seconds and a 4096-node
+// one minutes, but the result is a pure function of (topology, algorithm,
+// size, build options) — so, like TTO's pre-built MultiTree trees and
+// SCCL's synthesized-algorithm interchange files, the plan is worth
+// keeping. Entries are the versioned binary schedule IR of
+// internal/collective/binary.go — the compact rendering built for this
+// hot path (a 1024-node plan loads ~20x faster than from the JSON
+// interchange IR, which stays the format for -export files) — one file
+// per key:
+//
+//	<dir>/<sha256 of the canonical key material>.plan
+//
+// Loads go through collective.ImportBinaryInto, so a hit is strictly validated
+// against the live topology (fingerprint match, path continuity, DAG
+// checks) before any caller sees it; a corrupted or stale entry is
+// deleted, logged, and reported as a miss — never an error. Stores write
+// to a temp file and rename, so concurrent writers (a parallel sweep
+// planning several sizes) and crashes can never leave a half-written
+// entry behind. An optional size cap evicts least-recently-used entries
+// (hits refresh an entry's mtime).
+package plancache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"multitree/internal/collective"
+	"multitree/internal/topology"
+)
+
+// KeyVersion versions the key material. Bump it when the canonical
+// string changes meaning, so stale entries become unreachable instead of
+// wrongly shared.
+const KeyVersion = "plancache/v1"
+
+// Stats counts the cache's traffic. Monotone within one Cache lifetime.
+type Stats struct {
+	Hits         int64
+	Misses       int64
+	BytesRead    int64
+	BytesWritten int64
+	Evictions    int64
+}
+
+// Cache is an open plan-cache directory. Safe for concurrent use.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	// Log, when non-nil, receives warnings about discarded entries and
+	// failed stores (log.Printf-shaped). The cache never fails a build:
+	// every fault degrades to a miss, and Log is how the degradation
+	// stays visible.
+	Log func(format string, args ...any)
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Open creates dir if needed and returns the cache over it. maxBytes <= 0
+// means uncapped; otherwise stores evict least-recently-used entries
+// until the directory fits.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("plancache: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plancache: %w", err)
+	}
+	return &Cache{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Key derives the content address for one build request: the topology's
+// structural sha256 fingerprint, the algorithm name, the element count,
+// and every option that shapes the schedule (chunks). Options that only
+// affect how fast the planner runs — worker counts, observers — must not
+// be included: they do not change the bytes built.
+func Key(topo *topology.Topology, algorithm string, elems, chunks int) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\nir=%d\ntopology=%s\nalgorithm=%s\nelems=%d\nchunks=%d\n",
+		KeyVersion, collective.BinaryIRVersion, collective.TopologyFingerprint(topo), algorithm, elems, chunks)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".plan")
+}
+
+func (c *Cache) logf(format string, args ...any) {
+	if c.Log != nil {
+		c.Log(format, args...)
+	}
+}
+
+// Get loads the entry for key onto topo, returning the schedule and the
+// IR bytes read. ok = false is a miss, never an error: the entry was
+// absent, unreadable, or failed the IR's strict validation; invalid
+// entries are deleted and logged so one corrupt file costs one rebuild,
+// not every future run.
+func (c *Cache) Get(key string, topo *topology.Topology) (s *collective.Schedule, bytesRead int64, ok bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.logf("plancache: discarding unreadable entry %s: %v", key, err)
+			os.Remove(c.path(key))
+		}
+		c.count(func(s *Stats) { s.Misses++ })
+		return nil, 0, false
+	}
+	s, err = collective.ImportBinaryInto(bytes.NewReader(data), topo)
+	if err != nil {
+		c.logf("plancache: discarding invalid entry %s: %v (rebuilding)", key, err)
+		os.Remove(c.path(key))
+		c.count(func(s *Stats) { s.Misses++ })
+		return nil, 0, false
+	}
+	// A hit is a use: refresh the mtime so LRU eviction spares it.
+	now := time.Now()
+	_ = os.Chtimes(c.path(key), now, now)
+	c.count(func(st *Stats) {
+		st.Hits++
+		st.BytesRead += int64(len(data))
+	})
+	return s, int64(len(data)), true
+}
+
+// Put stores the schedule under key, atomically (temp file + rename),
+// then enforces the size cap; it returns the IR bytes written. Failures
+// are logged and reported; the caller already holds the built schedule,
+// so nothing is lost.
+func (c *Cache) Put(key string, s *collective.Schedule) (int64, error) {
+	var buf bytes.Buffer
+	if err := collective.ExportBinary(&buf, s); err != nil {
+		c.logf("plancache: not storing %s: %v", key, err)
+		return 0, err
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.logf("plancache: not storing %s: %v", key, err)
+		return 0, err
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.logf("plancache: not storing %s: %v", key, err)
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.logf("plancache: not storing %s: %v", key, err)
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.logf("plancache: not storing %s: %v", key, err)
+		return 0, err
+	}
+	c.count(func(st *Stats) { st.BytesWritten += int64(buf.Len()) })
+	c.evict(key)
+	return int64(buf.Len()), nil
+}
+
+// evict deletes least-recently-used entries until the directory fits the
+// cap, never touching the just-written key.
+func (c *Cache) evict(keep string) {
+	if c.maxBytes <= 0 {
+		return
+	}
+	type entry struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	dirents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	var entries []entry
+	var total int64
+	for _, de := range dirents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".plan" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		total += info.Size()
+		entries = append(entries, entry{de.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	if total <= c.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			return
+		}
+		if e.name == keep+".plan" {
+			continue
+		}
+		if os.Remove(filepath.Join(c.dir, e.name)) == nil {
+			total -= e.size
+			c.count(func(st *Stats) { st.Evictions++ })
+		}
+	}
+}
+
+func (c *Cache) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

@@ -1,0 +1,183 @@
+package plancache_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multitree/internal/algorithms"
+	_ "multitree/internal/algorithms/all"
+	"multitree/internal/collective"
+	"multitree/internal/plancache"
+	"multitree/internal/topology"
+)
+
+func cfg() topology.LinkConfig { return topology.DefaultLinkConfig() }
+
+func build(t *testing.T, topo *topology.Topology, elems int) *collective.Schedule {
+	t.Helper()
+	s, err := algorithms.Build(topo, "multitree", elems, algorithms.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRoundTrip pins the cache's core contract: a stored schedule loads
+// back with an IR encoding byte-identical to the freshly built one.
+func TestRoundTrip(t *testing.T) {
+	c, err := plancache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	key := plancache.Key(topo, "multitree", 1024, 0)
+
+	if _, _, ok := c.Get(key, topo); ok {
+		t.Fatal("hit on an empty cache")
+	}
+	if _, err := c.Put(key, s); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := c.Get(key, topo)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	var want, have bytes.Buffer
+	if err := collective.Export(&want, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := collective.Export(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatal("cached schedule's IR differs from the built schedule's")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.BytesRead == 0 || st.BytesWritten == 0 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, nonzero bytes", st)
+	}
+}
+
+// TestKeySensitivity: every schedule-shaping input must move the key;
+// planner-speed knobs must not exist in the signature at all.
+func TestKeySensitivity(t *testing.T) {
+	torus := topology.Torus(4, 4, cfg())
+	base := plancache.Key(torus, "multitree", 1024, 0)
+	for name, other := range map[string]string{
+		"topology":  plancache.Key(topology.Mesh(4, 4, cfg()), "multitree", 1024, 0),
+		"algorithm": plancache.Key(torus, "ring", 1024, 0),
+		"elems":     plancache.Key(torus, "multitree", 2048, 0),
+		"chunks":    plancache.Key(torus, "multitree", 1024, 2),
+	} {
+		if other == base {
+			t.Errorf("changing %s did not change the key", name)
+		}
+	}
+	if plancache.Key(torus, "multitree", 1024, 0) != base {
+		t.Error("key is not deterministic")
+	}
+}
+
+// TestCorruptEntryFallsBack: a damaged entry is deleted, logged, and
+// reported as a miss.
+func TestCorruptEntryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	c, err := plancache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	c.Log = func(format string, args ...any) {
+		warnings = append(warnings, fmt.Sprintf(format, args...))
+	}
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	key := plancache.Key(topo, "multitree", 1024, 0)
+	if _, err := c.Put(key, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".plan")
+	if err := os.WriteFile(path, []byte("MTIR\x01mangled garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "discarding invalid entry") {
+		t.Fatalf("warnings = %q, want one discard warning", warnings)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry not deleted")
+	}
+	// The slot is clean again: a re-store round-trips.
+	if _, err := c.Put(key, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); !ok {
+		t.Fatal("miss after re-store")
+	}
+}
+
+// TestWrongTopologyMisses: an entry keyed for one fabric never loads
+// onto another (ImportBinaryInto's fingerprint check), even if probed with a
+// mismatched key.
+func TestWrongTopologyMisses(t *testing.T) {
+	c, err := plancache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torus := topology.Torus(4, 4, cfg())
+	mesh := topology.Mesh(4, 4, cfg())
+	key := plancache.Key(torus, "multitree", 1024, 0)
+	if _, err := c.Put(key, build(t, torus, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, mesh); ok {
+		t.Fatal("torus entry loaded onto a mesh")
+	}
+}
+
+// TestEviction: the size cap holds by deleting the least recently used
+// entries, sparing the entry just written.
+func TestEviction(t *testing.T) {
+	dir := t.TempDir()
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	var one bytes.Buffer
+	if err := collective.ExportBinary(&one, s); err != nil {
+		t.Fatal(err)
+	}
+	// Cap to two entries' worth.
+	c, err := plancache.Open(dir, int64(one.Len())*2+16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{
+		plancache.Key(topo, "multitree", 1024, 0),
+		plancache.Key(topo, "multitree", 1024, 1),
+		plancache.Key(topo, "multitree", 1024, 2),
+	}
+	for _, k := range keys {
+		if _, err := c.Put(k, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, ok := c.Get(keys[2], topo); !ok {
+		t.Fatal("just-written entry evicted")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 2 {
+		t.Fatalf("%d entries left, want 2", len(left))
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"multitree/internal/collective"
 	"multitree/internal/network"
 	"multitree/internal/obs"
+	"multitree/internal/plancache"
 )
 
 // Trace is an in-memory recording of one simulated all-reduce: every
@@ -84,15 +85,80 @@ func (p *PlanProfile) Progress() (completed, total int) { return p.p.PipelinePro
 // work counters into the profile. The schedule built is byte-identical
 // to the unprofiled one; a nil profile is exactly BuildSchedule.
 func BuildScheduleProfiled(t *Topology, alg Algorithm, dataBytes int64, p *PlanProfile) (*Schedule, error) {
+	return BuildScheduleOptions(t, alg, dataBytes, PlanOptions{Profile: p})
+}
+
+// PlanCache is an open content-addressed on-disk cache of built
+// schedules: planning a large fabric costs minutes, loading its plan
+// back costs milliseconds. Entries are validated against the live
+// topology on load, so a stale or corrupt cache can never produce a
+// wrong schedule — only a rebuild.
+type PlanCache struct {
+	c *plancache.Cache
+}
+
+// OpenPlanCache opens (creating if needed) a plan-cache directory.
+// maxBytes <= 0 leaves the cache uncapped; otherwise least-recently-used
+// entries are evicted to hold the cap.
+func OpenPlanCache(dir string, maxBytes int64) (*PlanCache, error) {
+	c, err := plancache.Open(dir, maxBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanCache{c: c}, nil
+}
+
+// Dir returns the cache directory.
+func (c *PlanCache) Dir() string { return c.c.Dir() }
+
+// PlanCacheStats is a snapshot of a cache's traffic counters.
+type PlanCacheStats struct {
+	Hits         int64
+	Misses       int64
+	BytesRead    int64
+	BytesWritten int64
+	Evictions    int64
+}
+
+// Stats returns the cache's traffic so far.
+func (c *PlanCache) Stats() PlanCacheStats {
+	s := c.c.Stats()
+	return PlanCacheStats(s)
+}
+
+// PlanOptions tunes how BuildScheduleOptions plans: none of its fields
+// change the schedule built, only how fast it is produced and what is
+// recorded along the way. The zero value is exactly BuildSchedule.
+type PlanOptions struct {
+	// Workers bounds planner parallelism for algorithms with a parallel
+	// construction path (MultiTree's speculative tree growth); <= 1 means
+	// sequential.
+	Workers int
+
+	// Cache, when non-nil, is probed before planning and updated after.
+	Cache *PlanCache
+
+	// Profile, when non-nil, accumulates phase timings and work counters
+	// (including cache lookups) across builds.
+	Profile *PlanProfile
+}
+
+// BuildScheduleOptions is BuildSchedule with planner tuning: parallel
+// construction, a plan cache, and profiling. The schedule built is
+// byte-identical for every option combination.
+func BuildScheduleOptions(t *Topology, alg Algorithm, dataBytes int64, opt PlanOptions) (*Schedule, error) {
 	elems := int(dataBytes / collective.WordSize)
 	if elems < 1 {
 		return nil, fmt.Errorf("multitree: data size %d bytes is below one element", dataBytes)
 	}
-	var o obs.PlanObserver
-	if p != nil {
-		o = p.p
+	aopts := algorithms.Options{Workers: opt.Workers}
+	if opt.Profile != nil {
+		aopts.Observer = opt.Profile.p
 	}
-	s, err := algorithms.Build(t.t, string(alg), elems, algorithms.Options{Observer: o})
+	if opt.Cache != nil {
+		aopts.Cache = opt.Cache.c
+	}
+	s, err := algorithms.Build(t.t, string(alg), elems, aopts)
 	if err != nil {
 		return nil, err
 	}
