@@ -15,6 +15,7 @@ package multitree_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"multitree/internal/accel"
@@ -785,6 +786,35 @@ func BenchmarkPlanCacheWarmLoad(b *testing.B) {
 		bytesRead = n
 	}
 	b.ReportMetric(float64(bytesRead), "irBytes")
+}
+
+// BenchmarkLowerMesh32x32 measures schedule lowering alone at the
+// 1024-node scale — the ~2.1M-transfer Mesh where lowering, not tree
+// growth, dominated cold builds before the parallel arena-based rewrite.
+// Trees are grown once outside the timer; each iteration re-lowers them
+// with every available worker. The schedule is byte-identical at any
+// worker count, so this also exercises the deterministic merge.
+func BenchmarkLowerMesh32x32(b *testing.B) {
+	topo, err := topospec.Parse("mesh-32x32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions(topo)
+	trees, err := core.BuildTrees(topo, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := (1 << 20) / 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	var s *collective.Schedule
+	for i := 0; i < b.N; i++ {
+		s, err = collective.TreesToScheduleParallel(core.Algorithm, topo, elems, trees, runtime.GOMAXPROCS(0), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(s.Transfers)), "transfers")
 }
 
 // BenchmarkPacketEngineSteadyState is the zero-allocation guard for the

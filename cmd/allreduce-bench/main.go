@@ -148,6 +148,7 @@ func main() {
 		planCache     = flag.String("plan-cache", "", "content-addressed plan cache directory: schedules load from it when present and are stored after a fresh build")
 		planCacheMax  = flag.String("plan-cache-max-bytes", "", "evict least-recently-used plan-cache entries above this size (e.g. 256MiB); empty or 0 leaves the cache uncapped")
 		planWorkers   = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		verifyPlan    = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 		progressMode  = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		metricsAddr   = flag.String("metrics-addr", "", "serve Prometheus metrics at this address (e.g. :9464) during the run")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the run completes")
@@ -195,7 +196,7 @@ func main() {
 		MetricsAddr:  *metricsAddr, MetricsLinger: *metricsLinger,
 		CPUProfile: *cpuProfile, MemProfile: *memProfile,
 		PlanCacheDir: *planCache, PlanCacheMaxBytes: cacheMax,
-		PlanWorkers: *planWorkers,
+		PlanWorkers: *planWorkers, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {
 		log.Fatal(err)

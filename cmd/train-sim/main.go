@@ -67,6 +67,7 @@ func main() {
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory: gradient all-reduce schedules load from it when present and are stored after a fresh build")
 		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		verifyPlan   = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 		ReportPath:   *reportPath,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
-		PlanCacheDir: *planCache, PlanWorkers: *planWorkers,
+		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {
 		log.Fatal(err)

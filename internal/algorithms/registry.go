@@ -213,7 +213,7 @@ func Build(topo *topology.Topology, name string, elems int, opts Options) (*coll
 	if o != nil {
 		o.PhaseStart(obs.PhaseCacheLookup)
 	}
-	if s, n, ok := opts.Cache.Get(key, topo); ok {
+	if s, n, ok := opts.Cache.GetObserved(key, topo, o); ok {
 		if o != nil {
 			o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheHits: 1, CacheBytes: n})
 		}

@@ -150,7 +150,8 @@ type Config struct {
 
 	PlanCacheDir      string // -plan-cache: content-addressed plan cache directory
 	PlanCacheMaxBytes int64  // -plan-cache-max-bytes: LRU size cap, <= 0 uncapped
-	PlanWorkers       int    // -plan-workers: parallel tree growth, <= 1 sequential
+	PlanWorkers       int    // -plan-workers: parallel tree growth + lowering, <= 1 sequential
+	VerifyPlan        bool   // -verify-plan: full re-validation of cache hits
 }
 
 // Run is one invocation's live observability state: the report being
@@ -195,8 +196,12 @@ func StartRun(cfg Config) (*Run, error) {
 			return nil, err
 		}
 		c.Log = log.Printf // cache degradations (corrupt entries) stay visible
+		c.VerifyFull = cfg.VerifyPlan
 		r.Cache = c
 		r.Option("plan_cache", cfg.PlanCacheDir)
+		if cfg.VerifyPlan {
+			r.Option("verify_plan", "true")
+		}
 	}
 	if cfg.PlanWorkers > 1 {
 		r.Option("plan_workers", fmt.Sprintf("%d", cfg.PlanWorkers))
@@ -242,6 +247,23 @@ func (r *Run) BuildOptions() algorithms.Options {
 		Cache:    r.Cache,
 		Observer: r.PlanObserver(),
 	}
+}
+
+// ValidationMode names how a single-schedule run obtained its plan:
+// "summary" or "full" when a cache hit was validated that way, "fresh
+// build" when no hit happened (or no cache is attached). Meant for
+// one-schedule tools' stdout summaries.
+func (r *Run) ValidationMode() string {
+	if r.Cache != nil {
+		st := r.Cache.Stats()
+		switch {
+		case st.SummaryLoads > 0:
+			return "summary"
+		case st.FullLoads > 0:
+			return "full"
+		}
+	}
+	return "fresh build"
 }
 
 // NoteCacheKey records, for single-schedule runs, the cache key the
@@ -332,13 +354,15 @@ func (r *Run) Finish() error {
 	if r.Cache != nil {
 		st := r.Cache.Stats()
 		pc := obs.PlanCacheReport{
-			Dir:          r.Cache.Dir(),
-			Key:          r.cacheKey,
-			Hits:         st.Hits,
-			Misses:       st.Misses,
-			BytesRead:    st.BytesRead,
-			BytesWritten: st.BytesWritten,
-			Evictions:    st.Evictions,
+			Dir:              r.Cache.Dir(),
+			Key:              r.cacheKey,
+			Hits:             st.Hits,
+			Misses:           st.Misses,
+			BytesRead:        st.BytesRead,
+			BytesWritten:     st.BytesWritten,
+			Evictions:        st.Evictions,
+			SummaryValidated: st.SummaryLoads,
+			FullValidated:    st.FullLoads,
 		}
 		r.Report.PlanCache = &pc
 		if r.Prom != nil {

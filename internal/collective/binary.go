@@ -11,22 +11,44 @@ package collective
 // The format is not self-contained: it records the topology's
 // fingerprint, not its link list, so it can only be loaded onto a live
 // topology that hashes to the same value (ImportBinaryInto). That is
-// exactly the plan cache's situation, and the fingerprint check plus
-// the shared ValidateStrict pass keep the loaded schedule as trusted as
-// a JSON import.
+// exactly the plan cache's situation.
+//
+// Version 2 moves validation to store time. The exporter runs the full
+// ValidateStrict pass once, then embeds (a) a sha256 content hash over
+// everything after the hash field and (b) a validation summary —
+// transfer/dependency/path-hop/link counts, the coverage extent, and a
+// witness hash of the deterministic topological order. A v2 load
+// verifies the summary's cross-checks and the content hash in O(bytes)
+// instead of re-running Kahn and per-path continuity over millions of
+// transfers; BinaryImportOptions.VerifyFull restores the full pass. The
+// trust boundary is unchanged from v1: the cache directory was always
+// trusted to hold what the exporter wrote (an adversary who can write
+// arbitrary cache files could always substitute a different valid
+// schedule); the hash turns silent corruption into a rebuild.
+//
+// Version 1 files (no summary) still decode, via the full ValidateStrict
+// pass as before — the "stale summary version" fallback.
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
 
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
-// BinaryIRVersion is the current binary schedule encoding version.
-// ImportBinaryInto rejects any other version, so a format change makes
-// old files unreadable (a cache miss) rather than misread.
-const BinaryIRVersion = 1
+// BinaryIRVersion is the current binary schedule encoding version:
+// version 2 carries the content hash + validation summary. A format
+// change makes old cache keys unreachable (a cache miss) rather than
+// misread; files in the previous version remain decodable, at the cost
+// of full load-time validation.
+const BinaryIRVersion = 2
+
+// binaryIRVersionV1 is the legacy summary-free encoding, still accepted
+// by the importer.
+const binaryIRVersionV1 = 1
 
 // binaryMagic brands binary schedule files. Distinct from both JSON
 // ('{') and anything a truncated write leaves behind.
@@ -36,6 +58,68 @@ const (
 	opReduceBin = 0
 	opGatherBin = 1
 )
+
+// hashSize is sha256's digest length, the size of both the content hash
+// and the topo-order witness hash.
+const hashSize = sha256.Size
+
+// ValidationSummary is the store-time validation record embedded in a v2
+// binary schedule: the exact output sizes the decoder preallocates, and
+// the evidence that the full ValidateStrict pass ran when the file was
+// written.
+type ValidationSummary struct {
+	// Transfers/DepEdges/PathHops are the exact entity counts of the
+	// transfer section; the decoder sizes its arrays from them and
+	// rejects a stream that deviates.
+	Transfers int64
+	DepEdges  int64
+	PathHops  int64
+
+	// LinksUsed is the number of distinct directed links appearing in
+	// pinned paths; the decoder recounts it as it scans.
+	LinksUsed int64
+
+	// CoveredElems is the gradient extent the flow-coverage check proved
+	// covered at store time (Elems, or 0 for an empty schedule where the
+	// check is vacuous).
+	CoveredElems int64
+
+	// Witness is the sha256 over the schedule's deterministic topological
+	// order (little-endian uint32 ids), recorded when store-time
+	// validation computed it. A VerifyFull load recomputes and compares.
+	Witness [hashSize]byte
+}
+
+// BinaryImportOptions controls how ImportBinaryIntoOpts validates.
+type BinaryImportOptions struct {
+	// VerifyFull re-runs the complete ValidateStrict pass (and checks the
+	// witness hash) even when a trusted summary is present — the
+	// -verify-plan escape hatch.
+	VerifyFull bool
+
+	// SizeHint, when > 0, is the byte length of the stream. It bounds the
+	// summary-driven preallocations, so a corrupt or hostile length field
+	// cannot drive an allocation larger than a small multiple of the
+	// actual file.
+	SizeHint int64
+
+	// Observer, when non-nil, brackets the validation work as the
+	// "validate" planner phase.
+	Observer obs.PlanObserver
+}
+
+// BinaryLoadInfo reports how a binary schedule load was validated.
+type BinaryLoadInfo struct {
+	Version int
+
+	// Validation is "summary" when the load was accepted on the embedded
+	// validation summary + content hash, "full" when the complete
+	// ValidateStrict pass ran (v1 file, or VerifyFull).
+	Validation string
+
+	Transfers int
+	Summary   *ValidationSummary // nil for v1 files
+}
 
 // binWriter accumulates uvarints into one growing buffer; encoding a
 // schedule is a single allocation-amortized append stream.
@@ -54,63 +138,138 @@ func (w *binWriter) str(s string) {
 	w.buf = append(w.buf, s...)
 }
 
-// binReader decodes from an in-memory image; the whole file is read up
-// front (cache entries are tens of MB, well within reason) so decode is
-// pure slice walking with no io layer in the hot loop.
-type binReader struct {
-	buf []byte
-	off int
-	err error
+// witnessHash folds a topological order into its sha256 witness.
+func witnessHash(order []TransferID) [hashSize]byte {
+	h := sha256.New()
+	var buf [4096]byte
+	i := 0
+	for _, id := range order {
+		binary.LittleEndian.PutUint32(buf[i:], uint32(id))
+		if i += 4; i == len(buf) {
+			h.Write(buf[:])
+			i = 0
+		}
+	}
+	h.Write(buf[:i])
+	var out [hashSize]byte
+	h.Sum(out[:0])
+	return out
 }
 
-func (r *binReader) uint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.buf[r.off:])
-	if n <= 0 {
-		r.err = fmt.Errorf("truncated varint at offset %d", r.off)
-		return 0
-	}
-	r.off += n
-	return v
+// linkBitmap counts distinct directed links across pinned paths.
+type linkBitmap struct {
+	words []uint64
+	count int64
 }
 
-// count reads a length prefix and bounds-checks it against the bytes
-// remaining, so a corrupt length cannot drive a huge allocation.
-func (r *binReader) count(elemBytes int) int {
-	v := r.uint()
-	if r.err != nil {
-		return 0
-	}
-	if max := uint64(len(r.buf)-r.off) / uint64(elemBytes); v > max {
-		r.err = fmt.Errorf("length %d exceeds remaining input at offset %d", v, r.off)
-		return 0
-	}
-	return int(v)
+func newLinkBitmap(links int) *linkBitmap {
+	return &linkBitmap{words: make([]uint64, (links+63)/64)}
 }
 
-func (r *binReader) str() string {
-	n := r.count(1)
-	if r.err != nil {
-		return ""
+func (b *linkBitmap) add(id topology.LinkID) {
+	w, bit := id>>6, uint64(1)<<(id&63)
+	if b.words[w]&bit == 0 {
+		b.words[w] |= bit
+		b.count++
 	}
-	s := string(r.buf[r.off : r.off+n])
-	r.off += n
-	return s
+}
+
+// summarize computes the validation summary of a schedule whose strict
+// validation just produced order.
+func summarize(s *Schedule, order []TransferID) ValidationSummary {
+	sum := ValidationSummary{Transfers: int64(len(s.Transfers)), Witness: witnessHash(order)}
+	bm := newLinkBitmap(len(s.Topo.Links()))
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		sum.DepEdges += int64(len(t.Deps))
+		path := s.PathOf(t)
+		sum.PathHops += int64(len(path))
+		for _, id := range path {
+			bm.add(id)
+		}
+	}
+	sum.LinksUsed = bm.count
+	if len(s.Transfers) > 0 && s.Elems > 0 {
+		sum.CoveredElems = int64(s.Elems)
+	}
+	return sum
 }
 
 // ExportBinary writes the schedule in the binary IR. Like Export, every
 // transfer's link path is pinned, so the loaded schedule reproduces the
 // exact link-level behavior; unlike Export, the topology is recorded
-// only by fingerprint.
+// only by fingerprint. The schedule is strictly validated here, at store
+// time, and the file carries the ValidationSummary + content hash that
+// let a later load trust the result without repeating the pass.
 func ExportBinary(w io.Writer, s *Schedule) error {
+	order, err := s.validatedOrder(true)
+	if err != nil {
+		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
+	}
+	sum := summarize(s, order)
+
+	bw := &binWriter{buf: make([]byte, 0, 64+16*len(s.Transfers))}
+	bw.str(s.Algorithm)
+	bw.str(TopologyFingerprint(s.Topo))
+	bw.uint(uint64(s.Elems))
+	bw.uint(uint64(s.Steps))
+	bw.uint(uint64(sum.Transfers))
+	bw.uint(uint64(sum.DepEdges))
+	bw.uint(uint64(sum.PathHops))
+	bw.uint(uint64(sum.LinksUsed))
+	bw.uint(uint64(sum.CoveredElems))
+	bw.buf = append(bw.buf, sum.Witness[:]...)
+	bw.uint(uint64(len(s.Flows)))
+	for _, r := range s.Flows {
+		bw.uint(uint64(r.Off))
+		bw.uint(uint64(r.Len))
+	}
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		bw.uint(uint64(t.Src))
+		bw.uint(uint64(t.Dst))
+		op := uint64(opReduceBin)
+		if t.Op == Gather {
+			op = opGatherBin
+		}
+		bw.uint(op)
+		bw.uint(uint64(t.Flow))
+		bw.uint(uint64(t.Step))
+		bw.uint(uint64(len(t.Deps)))
+		for _, d := range t.Deps {
+			bw.uint(uint64(d))
+		}
+		path := s.PathOf(t)
+		bw.uint(uint64(len(path)))
+		for _, id := range path {
+			bw.uint(uint64(id))
+		}
+	}
+
+	var head binWriter
+	head.buf = append(head.buf, binaryMagic[:]...)
+	head.uint(BinaryIRVersion)
+	contentHash := sha256.Sum256(bw.buf)
+	head.buf = append(head.buf, contentHash[:]...)
+	if _, err := w.Write(head.buf); err != nil {
+		return err
+	}
+	_, err = w.Write(bw.buf)
+	return err
+}
+
+// ExportBinaryV1 writes the schedule in the legacy version-1 encoding —
+// no content hash, no validation summary. Kept so tests (and any tool
+// that needs to exercise the compatibility path) can produce files that
+// take the importer's full-validation branch; new code writes the
+// current version via ExportBinary.
+func ExportBinaryV1(w io.Writer, s *Schedule) error {
 	if err := s.Validate(); err != nil {
 		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
 	}
 	bw := &binWriter{buf: make([]byte, 0, 64+16*len(s.Transfers))}
 	bw.buf = append(bw.buf, binaryMagic[:]...)
-	bw.uint(BinaryIRVersion)
+	bw.uint(binaryIRVersionV1)
 	bw.str(s.Algorithm)
 	bw.str(TopologyFingerprint(s.Topo))
 	bw.uint(uint64(s.Elems))
@@ -146,93 +305,532 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 	return err
 }
 
-// ImportBinaryInto reads a binary schedule IR onto an existing topology.
-// The load is as strict as the JSON path: magic, version, fingerprint
-// match, and the full ValidateStrict pass (path continuity, DAG
-// acyclicity, flow coverage) all run before a schedule is returned.
-func ImportBinaryInto(r io.Reader, topo *topology.Topology) (*Schedule, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("collective: bad binary schedule: %w", err)
-	}
-	return importBinary(data, topo)
+// binStream decodes uvarints from its own 256 KiB read-ahead window
+// with sticky-error semantics, so decode never materializes the whole
+// file. Varints decode straight off the buffer (binary.Uvarint on the
+// slice) instead of byte-at-a-time through an io.ByteReader — at tens
+// of millions of transfers the per-byte call overhead is the load's
+// hottest path.
+type binStream struct {
+	r   io.Reader
+	buf []byte
+	pos int
+	end int
+	eof bool
+	err error
 }
 
-func importBinary(data []byte, topo *topology.Topology) (*Schedule, error) {
-	if len(data) < len(binaryMagic) || string(data[:len(binaryMagic)]) != string(binaryMagic[:]) {
-		return nil, fmt.Errorf("collective: not a binary schedule file")
+func newBinStream(r io.Reader) *binStream {
+	return &binStream{r: r, buf: make([]byte, 1<<18)}
+}
+
+func (r *binStream) uint() uint64 {
+	if r.err != nil {
+		return 0
 	}
-	br := &binReader{buf: data, off: len(binaryMagic)}
-	if v := br.uint(); br.err == nil && v != BinaryIRVersion {
-		return nil, fmt.Errorf("collective: unsupported binary schedule version %d (want %d)", v, BinaryIRVersion)
+	if r.end-r.pos >= binary.MaxVarintLen64 {
+		v, n := binary.Uvarint(r.buf[r.pos:r.end])
+		if n <= 0 {
+			r.err = fmt.Errorf("varint overflow")
+			return 0
+		}
+		r.pos += n
+		return v
 	}
-	algorithm := br.str()
-	fingerprint := br.str()
-	if br.err == nil {
-		if got := TopologyFingerprint(topo); got != fingerprint {
-			return nil, fmt.Errorf("collective: topology %s does not match binary schedule (fingerprint %s, file has %s)",
-				topo.Name(), got, fingerprint)
+	return r.uintSlow()
+}
+
+// uintSlow handles the window tail: fewer than MaxVarintLen64 buffered
+// bytes left, so the varint may straddle a refill or end the stream.
+func (r *binStream) uintSlow() uint64 {
+	for {
+		v, n := binary.Uvarint(r.buf[r.pos:r.end])
+		if n > 0 {
+			r.pos += n
+			return v
+		}
+		if n < 0 {
+			r.err = fmt.Errorf("varint overflow")
+			return 0
+		}
+		if r.eof {
+			r.err = fmt.Errorf("truncated varint: %w", io.ErrUnexpectedEOF)
+			return 0
+		}
+		r.fill()
+		if r.err != nil {
+			return 0
 		}
 	}
+}
+
+// fill compacts the unread tail to the front of the window and reads
+// more. It returns having made progress, hit EOF, or failed.
+func (r *binStream) fill() {
+	if r.pos > 0 {
+		copy(r.buf, r.buf[r.pos:r.end])
+		r.end -= r.pos
+		r.pos = 0
+	}
+	for tries := 0; tries < 100 && r.end < len(r.buf); tries++ {
+		n, err := r.r.Read(r.buf[r.end:])
+		r.end += n
+		if err == io.EOF {
+			r.eof = true
+			return
+		}
+		if err != nil {
+			r.err = fmt.Errorf("truncated stream: %w", err)
+			return
+		}
+		if n > 0 {
+			return
+		}
+	}
+	r.err = io.ErrNoProgress
+}
+
+// atEOF reports whether the stream has no bytes left, pulling from the
+// reader if the window is empty. On a read error it returns false and
+// leaves the error in r.err.
+func (r *binStream) atEOF() bool {
+	for r.pos == r.end {
+		if r.err != nil {
+			return false
+		}
+		if r.eof {
+			return true
+		}
+		r.fill()
+	}
+	return false
+}
+
+// intCap reads a count and rejects values beyond limit, so a corrupt
+// length cannot drive a huge allocation.
+func (r *binStream) intCap(what string, limit int64) int {
+	v := r.uint()
+	if r.err != nil {
+		return 0
+	}
+	if v > uint64(limit) {
+		r.err = fmt.Errorf("%s count %d exceeds limit %d", what, v, limit)
+		return 0
+	}
+	return int(v)
+}
+
+func (r *binStream) bytes(b []byte) {
+	for r.err == nil && len(b) > 0 {
+		if r.pos < r.end {
+			n := copy(b, r.buf[r.pos:r.end])
+			r.pos += n
+			b = b[n:]
+			continue
+		}
+		if r.eof {
+			r.err = fmt.Errorf("truncated stream: %w", io.ErrUnexpectedEOF)
+			return
+		}
+		r.fill()
+	}
+}
+
+func (r *binStream) str(limit int64) string {
+	n := r.intCap("string", limit)
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	b := make([]byte, n)
+	r.bytes(b)
+	if r.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// maxStringLen bounds algorithm/fingerprint strings; both are short.
+const maxStringLen = 1 << 16
+
+// ImportBinaryInto reads a binary schedule IR onto an existing topology
+// with default options: a v2 file loads on its trusted validation
+// summary + content hash, a v1 file gets the full ValidateStrict pass.
+func ImportBinaryInto(r io.Reader, topo *topology.Topology) (*Schedule, error) {
+	s, _, err := ImportBinaryIntoOpts(r, topo, BinaryImportOptions{})
+	return s, err
+}
+
+// ImportBinaryIntoOpts reads a binary schedule IR onto an existing
+// topology, reporting how the load was validated. The stream is decoded
+// incrementally through a fixed read-ahead window into arrays preallocated from the
+// validation summary; nothing buffers the whole file.
+func ImportBinaryIntoOpts(r io.Reader, topo *topology.Topology, opts BinaryImportOptions) (*Schedule, BinaryLoadInfo, error) {
+	info := BinaryLoadInfo{}
+	if opts.SizeHint == 0 {
+		if sz, ok := r.(interface{ Size() int64 }); ok {
+			opts.SizeHint = sz.Size()
+		}
+	}
+	var magic [len(binaryMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || magic != binaryMagic {
+		return nil, info, fmt.Errorf("collective: not a binary schedule file")
+	}
+	// The version varint is read byte-by-byte from the raw reader so the
+	// v2 path can start content hashing at the exact post-hash offset.
+	version, err := readRawUvarint(r)
+	if err != nil {
+		return nil, info, fmt.Errorf("collective: bad binary schedule: %w", err)
+	}
+	info.Version = int(version)
+	switch version {
+	case binaryIRVersionV1:
+		s, err := importBinaryV1(r, topo, opts)
+		if err != nil {
+			return nil, info, err
+		}
+		info.Validation = "full"
+		info.Transfers = len(s.Transfers)
+		return s, info, nil
+	case BinaryIRVersion:
+		return importBinaryV2(r, topo, opts, info)
+	default:
+		return nil, info, fmt.Errorf("collective: unsupported binary schedule version %d (want %d)", version, BinaryIRVersion)
+	}
+}
+
+// readRawUvarint reads a uvarint one byte at a time from an unbuffered
+// reader.
+func readRawUvarint(r io.Reader) (uint64, error) {
+	var v uint64
+	var b [1]byte
+	for shift := 0; shift < 64; shift += 7 {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, fmt.Errorf("truncated varint: %w", err)
+		}
+		v |= uint64(b[0]&0x7f) << shift
+		if b[0] < 0x80 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("varint overflow")
+}
+
+// checkHeader verifies the fingerprint/elems header fields shared by
+// both format versions.
+func checkHeader(s *Schedule, topo *topology.Topology, fingerprint string) error {
+	if got := TopologyFingerprint(topo); got != fingerprint {
+		return fmt.Errorf("collective: topology %s does not match binary schedule (fingerprint %s, file has %s)",
+			topo.Name(), got, fingerprint)
+	}
+	if s.Elems < 1 {
+		return fmt.Errorf("collective: schedule has %d elements", s.Elems)
+	}
+	return nil
+}
+
+// importBinaryV1 decodes the legacy summary-free format. With no
+// store-time evidence to trust, the load ends in the full ValidateStrict
+// pass, exactly as version 1 always did.
+func importBinaryV1(r io.Reader, topo *topology.Topology, opts BinaryImportOptions) (*Schedule, error) {
+	st := newBinStream(r)
+	algorithm := st.str(maxStringLen)
+	fingerprint := st.str(maxStringLen)
 	s := &Schedule{
 		Algorithm: algorithm,
 		Topo:      topo,
-		Elems:     int(br.uint()),
-		Steps:     int(br.uint()),
+		Elems:     int(st.uint()),
+		Steps:     int(st.uint()),
 	}
-	nf := br.count(2)
-	s.Flows = make([]Range, 0, nf)
-	for i := 0; i < nf && br.err == nil; i++ {
-		s.Flows = append(s.Flows, Range{Off: int(br.uint()), Len: int(br.uint())})
+	if st.err == nil {
+		if err := checkHeader(s, topo, fingerprint); err != nil {
+			return nil, err
+		}
 	}
-	nt := br.count(7)
-	s.Transfers = make([]Transfer, 0, nt)
+	// Counts are bounded by capped initial capacities plus append growth:
+	// every decoded entry consumes at least one stream byte, so memory
+	// stays proportional to the actual file size even if a corrupt count
+	// claims billions.
+	const preallocCap = 1 << 20
+	nf := st.intCap("flow", 1<<32)
+	s.Flows = make([]Range, 0, min(nf, preallocCap))
+	for i := 0; i < nf && st.err == nil; i++ {
+		s.Flows = append(s.Flows, Range{Off: int(st.uint()), Len: int(st.uint())})
+	}
+	nt := st.intCap("transfer", 1<<31-1)
+	s.Transfers = make([]Transfer, 0, min(nt, preallocCap))
 	maxStep := 0
-	for i := 0; i < nt && br.err == nil; i++ {
+	for i := 0; i < nt && st.err == nil; i++ {
 		t := Transfer{
 			ID:  TransferID(i),
-			Src: topology.NodeID(br.uint()),
-			Dst: topology.NodeID(br.uint()),
+			Src: topology.NodeID(st.uint()),
+			Dst: topology.NodeID(st.uint()),
 		}
-		switch op := br.uint(); op {
+		switch op := st.uint(); op {
 		case opReduceBin:
 			t.Op = Reduce
 		case opGatherBin:
 			t.Op = Gather
 		default:
-			if br.err == nil {
+			if st.err == nil {
 				return nil, fmt.Errorf("collective: transfer %d has unknown op %d", i, op)
 			}
 		}
-		t.Flow = int(br.uint())
-		t.Step = int(br.uint())
-		if nd := br.count(1); nd > 0 {
+		t.Flow = int(st.uint())
+		t.Step = int(st.uint())
+		if nd := st.intCap("dep", int64(nt)); nd > 0 && st.err == nil {
 			t.Deps = make([]TransferID, nd)
 			for d := range t.Deps {
-				t.Deps[d] = TransferID(br.uint())
+				t.Deps[d] = TransferID(st.uint())
 			}
 		}
-		np := br.count(1)
-		t.Path = make([]topology.LinkID, np)
-		for h := range t.Path {
-			t.Path[h] = topology.LinkID(br.uint())
+		np := st.intCap("path", 1<<32)
+		if st.err == nil {
+			t.Path = make([]topology.LinkID, 0, min(np, preallocCap))
+			for h := 0; h < np && st.err == nil; h++ {
+				t.Path = append(t.Path, topology.LinkID(st.uint()))
+			}
 		}
 		if t.Step > maxStep {
 			maxStep = t.Step
 		}
 		s.Transfers = append(s.Transfers, t)
 	}
-	if br.err != nil {
-		return nil, fmt.Errorf("collective: bad binary schedule: %w", br.err)
-	}
-	if s.Elems < 1 {
-		return nil, fmt.Errorf("collective: schedule has %d elements", s.Elems)
+	if st.err != nil {
+		return nil, fmt.Errorf("collective: bad binary schedule: %w", st.err)
 	}
 	if s.Steps < maxStep {
 		return nil, fmt.Errorf("collective: schedule claims %d steps but has a transfer at step %d", s.Steps, maxStep)
 	}
-	if err := s.ValidateStrict(); err != nil {
-		return nil, fmt.Errorf("collective: binary schedule failed validation: %w", err)
+	if err := validateFullObserved(s, opts.Observer); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// validateFullObserved is the full load-time validation, bracketed as
+// the validate phase.
+func validateFullObserved(s *Schedule, o obs.PlanObserver) error {
+	if o != nil {
+		o.PhaseStart(obs.PhaseValidate)
+		defer func() {
+			o.PhaseEnd(obs.PhaseValidate, obs.PlanCounters{
+				Transfers:       int64(len(s.Transfers)),
+				FullValidations: 1,
+			})
+		}()
+	}
+	if err := s.ValidateStrict(); err != nil {
+		return fmt.Errorf("collective: binary schedule failed validation: %w", err)
+	}
+	return nil
+}
+
+// importBinaryV2 decodes the current format: everything after the
+// content-hash field streams through the hasher while it is decoded into
+// arrays preallocated from the validation summary, and the load is
+// accepted once the recomputed hash matches — O(1) validation work
+// beyond the decode itself.
+func importBinaryV2(r io.Reader, topo *topology.Topology, opts BinaryImportOptions, info BinaryLoadInfo) (*Schedule, BinaryLoadInfo, error) {
+	var want [hashSize]byte
+	if _, err := io.ReadFull(r, want[:]); err != nil {
+		return nil, info, fmt.Errorf("collective: bad binary schedule: %w", err)
+	}
+	hasher := sha256.New()
+	st := newBinStream(io.TeeReader(r, hasher))
+
+	algorithm := st.str(maxStringLen)
+	fingerprint := st.str(maxStringLen)
+	s := &Schedule{
+		Algorithm: algorithm,
+		Topo:      topo,
+		Elems:     int(st.uint()),
+		Steps:     int(st.uint()),
+	}
+	if st.err == nil {
+		if err := checkHeader(s, topo, fingerprint); err != nil {
+			return nil, info, err
+		}
+	}
+	var sum ValidationSummary
+	sum.Transfers = int64(st.uint())
+	sum.DepEdges = int64(st.uint())
+	sum.PathHops = int64(st.uint())
+	sum.LinksUsed = int64(st.uint())
+	sum.CoveredElems = int64(st.uint())
+	st.bytes(sum.Witness[:])
+	if st.err != nil {
+		return nil, info, fmt.Errorf("collective: bad binary schedule: %w", st.err)
+	}
+	// Each transfer costs >= 7 stream bytes, each dep and path hop >= 1:
+	// with a size hint, a summary whose claimed sizes could not fit in
+	// the file is rejected before anything is allocated.
+	if hint := opts.SizeHint; hint > 0 {
+		if sum.Transfers*7+sum.DepEdges+sum.PathHops > hint {
+			return nil, info, fmt.Errorf("collective: bad binary schedule: summary claims %d transfers/%d deps/%d hops in a %d-byte file",
+				sum.Transfers, sum.DepEdges, sum.PathHops, hint)
+		}
+	} else if sum.Transfers+sum.DepEdges+sum.PathHops > 1<<26 {
+		return nil, info, fmt.Errorf("collective: refusing to decode a %d-entity binary schedule without a size bound",
+			sum.Transfers+sum.DepEdges+sum.PathHops)
+	}
+	if sum.Transfers > 1<<31-1 {
+		return nil, info, fmt.Errorf("collective: bad binary schedule: %d transfers", sum.Transfers)
+	}
+
+	// One flow per tree; always dwarfed by transfers on non-trivial
+	// schedules, with a floor for degenerate ones.
+	nf := st.intCap("flow", max(sum.Transfers, 1<<16))
+	s.Flows = make([]Range, nf)
+	for i := range s.Flows {
+		s.Flows[i] = Range{Off: int(st.uint()), Len: int(st.uint())}
+	}
+
+	nt := int(sum.Transfers)
+	nodes := topology.NodeID(topo.Nodes())
+	links := len(topo.Links())
+	s.Transfers = make([]Transfer, nt)
+	depArena := make([]TransferID, sum.DepEdges)
+	pathArena := make([]topology.LinkID, sum.PathHops)
+	bm := newLinkBitmap(links)
+	dcur, pcur := 0, 0
+	maxStep := 0
+	for i := 0; i < nt && st.err == nil; i++ {
+		t := &s.Transfers[i]
+		t.ID = TransferID(i)
+		t.Src = topology.NodeID(st.uint())
+		t.Dst = topology.NodeID(st.uint())
+		if t.Src < 0 || t.Src >= nodes || t.Dst < 0 || t.Dst >= nodes {
+			return nil, info, fmt.Errorf("collective: transfer %d: endpoint out of range (%d->%d)", i, t.Src, t.Dst)
+		}
+		switch op := st.uint(); op {
+		case opReduceBin:
+			t.Op = Reduce
+		case opGatherBin:
+			t.Op = Gather
+		default:
+			if st.err == nil {
+				return nil, info, fmt.Errorf("collective: transfer %d has unknown op %d", i, op)
+			}
+		}
+		t.Flow = int(st.uint())
+		t.Step = int(st.uint())
+		if st.err == nil && (t.Flow < 0 || t.Flow >= nf) {
+			return nil, info, fmt.Errorf("collective: transfer %d: flow %d out of range", i, t.Flow)
+		}
+		nd := st.intCap("dep", sum.DepEdges-int64(dcur))
+		if nd > 0 && st.err == nil {
+			t.Deps = depArena[dcur : dcur+nd : dcur+nd]
+			dcur += nd
+			for d := range t.Deps {
+				dep := TransferID(st.uint())
+				if dep < 0 || int(dep) >= nt {
+					if st.err == nil {
+						return nil, info, fmt.Errorf("collective: transfer %d: dep %d out of range", i, dep)
+					}
+				}
+				t.Deps[d] = dep
+			}
+		}
+		np := st.intCap("path", sum.PathHops-int64(pcur))
+		if st.err == nil {
+			t.Path = pathArena[pcur : pcur+np : pcur+np]
+			pcur += np
+			for h := range t.Path {
+				id := topology.LinkID(st.uint())
+				if id < 0 || int(id) >= links {
+					if st.err == nil {
+						return nil, info, fmt.Errorf("collective: transfer %d: path link %d out of range", i, id)
+					}
+				}
+				t.Path[h] = id
+				bm.add(id)
+			}
+		}
+		if t.Step > maxStep {
+			maxStep = t.Step
+		}
+	}
+	if st.err == nil && !st.atEOF() {
+		// atEOF found live bytes — unless it failed reading, which is
+		// the stickier error.
+		if st.err == nil {
+			st.err = fmt.Errorf("trailing data after schedule")
+		}
+	}
+	if st.err != nil {
+		return nil, info, fmt.Errorf("collective: bad binary schedule: %w", st.err)
+	}
+
+	// Summary validation: the cheap decode-time cross-checks, then the
+	// content hash that proves the stream is bit-for-bit what store-time
+	// validation accepted.
+	o := opts.Observer
+	if o != nil && !opts.VerifyFull {
+		o.PhaseStart(obs.PhaseValidate)
+	}
+	err := func() error {
+		if int64(dcur) != sum.DepEdges || int64(pcur) != sum.PathHops {
+			return fmt.Errorf("collective: bad binary schedule: summary claims %d deps/%d hops, stream has %d/%d",
+				sum.DepEdges, sum.PathHops, dcur, pcur)
+		}
+		if bm.count != sum.LinksUsed {
+			return fmt.Errorf("collective: bad binary schedule: summary claims %d links used, stream has %d", sum.LinksUsed, bm.count)
+		}
+		if s.Steps < maxStep {
+			return fmt.Errorf("collective: schedule claims %d steps but has a transfer at step %d", s.Steps, maxStep)
+		}
+		if nt > 0 && s.Elems > 0 && sum.CoveredElems != int64(s.Elems) {
+			return fmt.Errorf("collective: bad binary schedule: summary covers %d of %d elements", sum.CoveredElems, s.Elems)
+		}
+		var got [hashSize]byte
+		hasher.Sum(got[:0])
+		if got != want {
+			return fmt.Errorf("collective: bad binary schedule: content hash mismatch (corrupt or tampered entry)")
+		}
+		return nil
+	}()
+	if o != nil && !opts.VerifyFull {
+		c := obs.PlanCounters{Transfers: int64(nt)}
+		if err == nil {
+			c.SummaryValidations = 1
+		}
+		o.PhaseEnd(obs.PhaseValidate, c)
+	}
+	if err != nil {
+		return nil, info, err
+	}
+
+	info.Summary = &sum
+	info.Transfers = nt
+	if opts.VerifyFull {
+		if err := verifyFullV2(s, &sum, o); err != nil {
+			return nil, info, err
+		}
+		info.Validation = "full"
+		return s, info, nil
+	}
+	info.Validation = "summary"
+	return s, info, nil
+}
+
+// verifyFullV2 is the -verify-plan path: the complete ValidateStrict
+// pass plus a recomputation of the stored topological-order witness.
+func verifyFullV2(s *Schedule, sum *ValidationSummary, o obs.PlanObserver) error {
+	if o != nil {
+		o.PhaseStart(obs.PhaseValidate)
+		defer func() {
+			o.PhaseEnd(obs.PhaseValidate, obs.PlanCounters{
+				Transfers:       int64(len(s.Transfers)),
+				FullValidations: 1,
+			})
+		}()
+	}
+	order, err := s.validatedOrder(true)
+	if err != nil {
+		return fmt.Errorf("collective: binary schedule failed validation: %w", err)
+	}
+	if w := witnessHash(order); w != sum.Witness {
+		return fmt.Errorf("collective: binary schedule witness hash does not match its topological order")
+	}
+	return nil
 }

@@ -1,0 +1,175 @@
+package collective_test
+
+// Tests of the version-2 binary IR trust machinery: validation-summary
+// loads, the content hash as the corruption backstop, the VerifyFull
+// escape hatch, and legacy version-1 compatibility.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/core"
+	"multitree/internal/topology"
+)
+
+func buildV2(t *testing.T) (*topology.Topology, *collective.Schedule) {
+	t.Helper()
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	s, err := core.Build(topo, 1<<12, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, s
+}
+
+// TestBinaryV2SummaryLoad: a default import of a current-version file is
+// accepted on its validation summary, and the summary's counts describe
+// the schedule exactly.
+func TestBinaryV2SummaryLoad(t *testing.T) {
+	topo, s := buildV2(t)
+	var buf bytes.Buffer
+	if err := collective.ExportBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := collective.ImportBinaryIntoOpts(bytes.NewReader(buf.Bytes()), topo, collective.BinaryImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != collective.BinaryIRVersion || info.Validation != "summary" {
+		t.Fatalf("info = %+v, want current version, summary-validated", info)
+	}
+	if info.Summary == nil {
+		t.Fatal("no validation summary reported")
+	}
+	var deps, hops int64
+	for i := range s.Transfers {
+		deps += int64(len(s.Transfers[i].Deps))
+		hops += int64(len(s.PathOf(&s.Transfers[i])))
+	}
+	sum := info.Summary
+	if sum.Transfers != int64(len(s.Transfers)) || sum.DepEdges != deps || sum.PathHops != hops {
+		t.Fatalf("summary %+v does not match schedule (%d transfers, %d deps, %d hops)",
+			sum, len(s.Transfers), deps, hops)
+	}
+	if sum.CoveredElems != int64(s.Elems) {
+		t.Fatalf("summary covers %d elems, schedule has %d", sum.CoveredElems, s.Elems)
+	}
+	if sum.LinksUsed <= 0 || sum.LinksUsed > int64(len(topo.Links())) {
+		t.Fatalf("summary links used = %d, topology has %d", sum.LinksUsed, len(topo.Links()))
+	}
+	// The trusted load is still the same schedule: full validation holds.
+	if err := got.ValidateStrict(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBinaryV2VerifyFull: VerifyFull forces the complete validation pass
+// (witness hash included) and reports it.
+func TestBinaryV2VerifyFull(t *testing.T) {
+	topo, s := buildV2(t)
+	var buf bytes.Buffer
+	if err := collective.ExportBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	_, info, err := collective.ImportBinaryIntoOpts(bytes.NewReader(buf.Bytes()), topo,
+		collective.BinaryImportOptions{VerifyFull: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Validation != "full" {
+		t.Fatalf("validation = %q, want full", info.Validation)
+	}
+}
+
+// TestBinaryV2NoSingleBitFlipAccepted sweeps a single-bit flip across
+// the encoded body (everything after magic/version/hash) and requires
+// every variant to be rejected: flips that keep the stream decodable and
+// the summary cross-checks consistent must be caught by the content
+// hash — which is the whole point of carrying it — and at least one such
+// flip must exist in the sweep.
+func TestBinaryV2NoSingleBitFlipAccepted(t *testing.T) {
+	topo, s := buildV2(t)
+	var buf bytes.Buffer
+	if err := collective.ExportBinary(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	// Body starts after magic(4) + version varint(1) + content hash(32).
+	const bodyOff = 4 + 1 + 32
+	hashCaught := 0
+	// Step a few bytes at a time to keep the sweep fast; every sampled
+	// offset still covers header, summary, flow and transfer bytes.
+	for off := bodyOff; off < len(good); off += 3 {
+		bad := bytes.Clone(good)
+		bad[off] ^= 0x01
+		_, _, err := collective.ImportBinaryIntoOpts(bytes.NewReader(bad), topo, collective.BinaryImportOptions{})
+		if err == nil {
+			t.Fatalf("bit flip at offset %d accepted", off)
+		}
+		if strings.Contains(err.Error(), "content hash mismatch") {
+			hashCaught++
+		}
+	}
+	if hashCaught == 0 {
+		t.Fatal("no flip was caught by the content hash; the backstop never engaged")
+	}
+}
+
+// TestBinaryV1Compat: a legacy version-1 file (no summary) still decodes
+// — through the full validation pass — and yields the identical
+// schedule.
+func TestBinaryV1Compat(t *testing.T) {
+	topo, s := buildV2(t)
+	var v1 bytes.Buffer
+	if err := collective.ExportBinaryV1(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := collective.ImportBinaryIntoOpts(bytes.NewReader(v1.Bytes()), topo, collective.BinaryImportOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Version != 1 || info.Validation != "full" {
+		t.Fatalf("info = %+v, want version 1, full-validated", info)
+	}
+	var want, have bytes.Buffer
+	if err := collective.Export(&want, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := collective.Export(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatal("v1 round trip changed the schedule")
+	}
+}
+
+// TestTreesToScheduleParallelDeterministic: the lowered schedule — and
+// therefore its binary IR, content hash included — is byte-identical at
+// every worker count.
+func TestTreesToScheduleParallelDeterministic(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	trees, err := core.BuildTrees(topo, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		s, err := collective.TreesToScheduleParallel(core.Algorithm, topo, 1<<12, trees, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := collective.ExportBinary(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			want = buf
+			continue
+		}
+		if !bytes.Equal(want.Bytes(), buf.Bytes()) {
+			t.Fatalf("workers=%d lowers to different bytes than workers=1", workers)
+		}
+	}
+}

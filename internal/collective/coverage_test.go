@@ -1,0 +1,84 @@
+package collective
+
+import (
+	"testing"
+)
+
+// coverageSchedule builds a bare schedule with nf flows over elems
+// elements; shuffled reverses the flow table so the coverage check takes
+// its sort fallback.
+func coverageSchedule(elems, nf int, shuffled bool) *Schedule {
+	s := &Schedule{Elems: elems, Flows: Partition(elems, nf)}
+	if shuffled {
+		for i, j := 0, len(s.Flows)-1; i < j; i, j = i+1, j-1 {
+			s.Flows[i], s.Flows[j] = s.Flows[j], s.Flows[i]
+		}
+	}
+	return s
+}
+
+// TestFlowCoverageHoleFindsHoles pins the check's answers on ordered and
+// shuffled flow tables, covered and holed.
+func TestFlowCoverageHoleFindsHoles(t *testing.T) {
+	for _, shuffled := range []bool{false, true} {
+		s := coverageSchedule(1<<12, 64, shuffled)
+		if hole, ok := s.flowCoverageHole(); ok {
+			t.Fatalf("shuffled=%v: false hole at %d", shuffled, hole)
+		}
+		// Punch a hole: drop one segment's coverage.
+		victim := 17
+		want := s.Flows[victim].Off
+		s.Flows[victim].Len = 0
+		hole, ok := s.flowCoverageHole()
+		if !ok || hole != want {
+			t.Fatalf("shuffled=%v: hole = %d,%v, want %d,true", shuffled, hole, ok, want)
+		}
+	}
+}
+
+// TestFlowCoverageHoleNoAlloc pins the scratch-reuse contract: the
+// ascending fast path never allocates, and the sort fallback allocates
+// only on its first run — repeat validations of the same schedule reuse
+// the scratch.
+func TestFlowCoverageHoleNoAlloc(t *testing.T) {
+	ordered := coverageSchedule(1<<16, 1024, false)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := ordered.flowCoverageHole(); ok {
+			t.Fatal("false hole")
+		}
+	}); allocs != 0 {
+		t.Fatalf("ascending fast path allocates %.1f per check, want 0", allocs)
+	}
+
+	shuffled := coverageSchedule(1<<16, 1024, true)
+	shuffled.flowCoverageHole() // first run sizes the scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ok := shuffled.flowCoverageHole(); ok {
+			t.Fatal("false hole")
+		}
+	}); allocs != 0 {
+		t.Fatalf("sort fallback allocates %.1f per check after warmup, want 0", allocs)
+	}
+}
+
+// BenchmarkFlowCoverageHole measures the strict-validation coverage
+// check at a 1024-flow table — the fast path on Partition's ascending
+// output, and the warmed sort fallback.
+func BenchmarkFlowCoverageHole(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		shuffled bool
+	}{{"ascending", false}, {"shuffled", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := coverageSchedule(1<<20, 1024, bc.shuffled)
+			s.flowCoverageHole()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := s.flowCoverageHole(); ok {
+					b.Fatal("false hole")
+				}
+			}
+		})
+	}
+}

@@ -13,7 +13,8 @@ package collective
 import (
 	"container/heap"
 	"fmt"
-	"sort"
+	"runtime"
+	"slices"
 
 	"multitree/internal/topology"
 )
@@ -114,6 +115,11 @@ type Schedule struct {
 
 	// Steps is the total number of algorithmic time steps.
 	Steps int
+
+	// covScratch is reused by flowCoverageHole across strict validations
+	// (schedules with out-of-order flow segments only). Like the exported
+	// fields, it is not safe for concurrent mutation.
+	covScratch []Range
 }
 
 // NewSchedule allocates an empty schedule for the given topology and data
@@ -189,16 +195,45 @@ func Partition(elems, parts int) []Range {
 // connect their endpoints, and the dependency graph being acyclic.
 // Algorithms call it in tests; simulators assume a valid schedule.
 func (s *Schedule) Validate() error {
+	_, err := s.validatedOrder(false)
+	return err
+}
+
+// validatedOrder runs the validation pipeline once and returns the
+// deterministic topological order it computes along the way, so callers
+// that need both (the binary exporter, which stores the order's witness
+// hash) do not pay for Kahn twice. strict adds the flow-coverage check of
+// ValidateStrict.
+func (s *Schedule) validatedOrder(strict bool) ([]TransferID, error) {
 	if s.Topo == nil {
-		return fmt.Errorf("collective: schedule %q has no topology", s.Algorithm)
+		return nil, fmt.Errorf("collective: schedule %q has no topology", s.Algorithm)
 	}
 	for f, r := range s.Flows {
 		if r.Off < 0 || r.Len < 0 || r.End() > s.Elems {
-			return fmt.Errorf("flow %d: range [%d,%d) outside gradient [0,%d)", f, r.Off, r.End(), s.Elems)
+			return nil, fmt.Errorf("flow %d: range [%d,%d) outside gradient [0,%d)", f, r.Off, r.End(), s.Elems)
 		}
 	}
+	if err := s.validateTransfers(); err != nil {
+		return nil, err
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	if strict && s.Elems > 0 && len(s.Transfers) > 0 {
+		if hole, ok := s.flowCoverageHole(); ok {
+			return nil, fmt.Errorf("collective: flows leave element %d of [0,%d) uncovered", hole, s.Elems)
+		}
+	}
+	return order, nil
+}
+
+// validateTransferRange checks the per-transfer structural invariants
+// over [lo, hi). The checks are independent per transfer, so large
+// schedules shard this across CPUs.
+func (s *Schedule) validateTransferRange(lo, hi int) error {
 	n := topology.NodeID(s.Topo.Nodes())
-	for i := range s.Transfers {
+	for i := lo; i < hi; i++ {
 		t := &s.Transfers[i]
 		if t.ID != TransferID(i) {
 			return fmt.Errorf("transfer %d: bad id %d", i, t.ID)
@@ -229,8 +264,35 @@ func (s *Schedule) Validate() error {
 			}
 		}
 	}
-	if _, err := s.TopoOrder(); err != nil {
-		return err
+	return nil
+}
+
+// validateParallelMin is the transfer count below which validateTransfers
+// stays sequential; goroutine fan-out only pays off on large schedules.
+const validateParallelMin = 1 << 16
+
+func (s *Schedule) validateTransfers() error {
+	n := len(s.Transfers)
+	workers := runtime.GOMAXPROCS(0)
+	if n < validateParallelMin || workers <= 1 {
+		return s.validateTransferRange(0, n)
+	}
+	// Shard the read-only pass; report the error of the lowest shard so
+	// the result is deterministic regardless of scheduling.
+	shards := workers * 4
+	chunk := (n + shards - 1) / shards
+	errs := make([]error, shards)
+	runTreeTasks(workers, shards, func(_, i int) {
+		lo := i * chunk
+		hi := min(lo+chunk, n)
+		if lo < hi {
+			errs[i] = s.validateTransferRange(lo, hi)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -264,29 +326,37 @@ func (s *Schedule) validatePath(t *Transfer) error {
 // gradient [0, Elems), so no element can escape reduction merely because
 // no transfer ever references it.
 func (s *Schedule) ValidateStrict() error {
-	if err := s.Validate(); err != nil {
-		return err
-	}
-	if s.Elems > 0 && len(s.Transfers) > 0 {
-		if hole, ok := flowCoverageHole(s.Flows, s.Elems); ok {
-			return fmt.Errorf("collective: flows leave element %d of [0,%d) uncovered", hole, s.Elems)
-		}
-	}
-	return nil
+	_, err := s.validatedOrder(true)
+	return err
 }
 
-// flowCoverageHole returns the first element of [0, elems) not covered by
-// any flow range, if one exists.
-func flowCoverageHole(flows []Range, elems int) (int, bool) {
-	ranges := make([]Range, 0, len(flows))
-	for _, r := range flows {
-		if r.Len > 0 {
-			ranges = append(ranges, r)
+// flowCoverageHole returns the first element of [0, Elems) not covered by
+// any flow range, if one exists. Partition emits segments in ascending
+// offset order, so the common case is a zero-allocation in-place scan;
+// out-of-order flow tables fall back to sorting a scratch copy that is
+// reused across validations of the same schedule.
+func (s *Schedule) flowCoverageHole() (int, bool) {
+	ranges := s.Flows
+	for i := 1; i < len(ranges); i++ {
+		if ranges[i].Off < ranges[i-1].Off {
+			s.covScratch = s.covScratch[:0]
+			for _, r := range s.Flows {
+				if r.Len > 0 {
+					s.covScratch = append(s.covScratch, r)
+				}
+			}
+			// slices.SortFunc, unlike sort.Slice, does not allocate — the
+			// scratch makes repeat validations allocation-free.
+			slices.SortFunc(s.covScratch, func(a, b Range) int { return a.Off - b.Off })
+			ranges = s.covScratch
+			break
 		}
 	}
-	sort.Slice(ranges, func(i, j int) bool { return ranges[i].Off < ranges[j].Off })
 	covered := 0
 	for _, r := range ranges {
+		if r.Len <= 0 {
+			continue
+		}
 		if r.Off > covered {
 			return covered, true
 		}
@@ -294,7 +364,7 @@ func flowCoverageHole(flows []Range, elems int) (int, bool) {
 			covered = r.End()
 		}
 	}
-	if covered < elems {
+	if covered < s.Elems {
 		return covered, true
 	}
 	return 0, false
@@ -302,17 +372,45 @@ func flowCoverageHole(flows []Range, elems int) (int, bool) {
 
 // TopoOrder returns a deterministic topological order of the transfers
 // (Kahn's algorithm, ready set drained in id order), or an error if the
-// dependency graph has a cycle.
+// dependency graph has a cycle. The successor adjacency is built in CSR
+// form — three flat arrays instead of one slice per transfer — so a
+// multi-million-transfer schedule orders without per-node allocation.
 func (s *Schedule) TopoOrder() ([]TransferID, error) {
 	n := len(s.Transfers)
-	indeg := make([]int, n)
-	succ := make([][]TransferID, n)
+	indeg := make([]int32, n)
+	succEnd := make([]int32, n) // cursor during fill; end-of-region after
+	var nDeps int
 	for i := range s.Transfers {
-		for _, d := range s.Transfers[i].Deps {
-			indeg[i]++
-			succ[d] = append(succ[d], TransferID(i))
+		deps := s.Transfers[i].Deps
+		indeg[i] = int32(len(deps))
+		nDeps += len(deps)
+		for _, d := range deps {
+			if d < 0 || int(d) >= n {
+				return nil, fmt.Errorf("collective: transfer %d: dep %d out of range", i, d)
+			}
+			succEnd[d]++
 		}
 	}
+	for i := 1; i < n; i++ {
+		succEnd[i] += succEnd[i-1]
+	}
+	// Fill backwards: each decrement walks succEnd[d] down to d's region
+	// start, leaving the region [succEnd[d], succEnd[d+1]) sorted
+	// ascending (succEnd[n-1]'s region ends at nDeps).
+	succ := make([]TransferID, nDeps)
+	for i := n - 1; i >= 0; i-- {
+		for _, d := range s.Transfers[i].Deps {
+			succEnd[d]--
+			succ[succEnd[d]] = TransferID(i)
+		}
+	}
+	regionEnd := func(v TransferID) int32 {
+		if int(v) == n-1 {
+			return int32(nDeps)
+		}
+		return succEnd[v+1]
+	}
+
 	var ready idHeap
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
@@ -324,7 +422,7 @@ func (s *Schedule) TopoOrder() ([]TransferID, error) {
 	for ready.Len() > 0 {
 		id := heap.Pop(&ready).(TransferID)
 		order = append(order, id)
-		for _, nxt := range succ[id] {
+		for _, nxt := range succ[succEnd[id]:regionEnd(id)] {
 			indeg[nxt]--
 			if indeg[nxt] == 0 {
 				heap.Push(&ready, nxt)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"multitree/internal/obs"
 	"multitree/internal/topology"
@@ -94,7 +96,11 @@ func (t *Tree) Height() int {
 }
 
 // Validate checks that the tree spans all nodes, is acyclic, and that each
-// child attaches at a strictly later step than its parent.
+// child attaches at a strictly later step than its parent. The check is a
+// single O(n) pass: every parent pointer must go to a member whose attach
+// step is strictly smaller, so any chain of parents strictly decreases the
+// step and must terminate at the root — a cycle would need some edge whose
+// step does not decrease, and that edge fails the per-node check directly.
 func (t *Tree) Validate() error {
 	n := len(t.Parent)
 	for node := 0; node < n; node++ {
@@ -117,16 +123,16 @@ func (t *Tree) Validate() error {
 		if t.AGStep[node] < 1 {
 			return fmt.Errorf("tree %d: node %d has step %d", t.Flow, id, t.AGStep[node])
 		}
-		if p := t.Parent[node]; p != t.Root && t.AGStep[p] >= t.AGStep[node] {
+		p := t.Parent[node]
+		if int(p) >= n {
+			return fmt.Errorf("tree %d: node %d has parent %d outside the tree", t.Flow, id, p)
+		}
+		if t.Members != nil && !t.Members[p] {
+			return fmt.Errorf("tree %d: node %d has non-member parent %d", t.Flow, id, p)
+		}
+		if p != t.Root && t.AGStep[p] >= t.AGStep[node] {
 			return fmt.Errorf("tree %d: node %d (step %d) attaches no later than parent %d (step %d)",
 				t.Flow, id, t.AGStep[node], p, t.AGStep[p])
-		}
-		// Walk to the root to detect cycles.
-		seen := 0
-		for v := id; v != t.Root; v = t.Parent[v] {
-			if seen++; seen > n {
-				return fmt.Errorf("tree %d: cycle through node %d", t.Flow, id)
-			}
 		}
 	}
 	return nil
@@ -170,126 +176,311 @@ func (t *Tree) String() string {
 // Gather to a child waits for the Gather received from the parent (or, at
 // the root, for the completed reduction).
 func TreesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree) (*Schedule, error) {
-	return TreesToScheduleObserved(alg, topo, elems, trees, nil)
+	return TreesToScheduleParallel(alg, topo, elems, trees, 1, nil)
 }
 
 // TreesToScheduleObserved is TreesToSchedule bracketed as the lowering
-// phase of a PlanObserver: phase boundaries plus the emitted transfer
-// count. A nil observer makes it exactly TreesToSchedule.
+// phase of a PlanObserver: phase boundaries plus the emitted transfer,
+// dependency-edge and path-hop counts. A nil observer makes it exactly
+// TreesToSchedule.
 func TreesToScheduleObserved(alg string, topo *topology.Topology, elems int, trees []*Tree, o obs.PlanObserver) (*Schedule, error) {
+	return TreesToScheduleParallel(alg, topo, elems, trees, 1, o)
+}
+
+// TreesToScheduleParallel lowers independent trees on up to workers
+// goroutines. Every tree's transfers occupy a precomputed contiguous id
+// region, so the emitted schedule — ids, dependency order, pinned paths,
+// exported bytes — is identical at any worker count; workers only change
+// who fills which region.
+func TreesToScheduleParallel(alg string, topo *topology.Topology, elems int, trees []*Tree, workers int, o obs.PlanObserver) (*Schedule, error) {
 	if o == nil {
-		return treesToSchedule(alg, topo, elems, trees)
+		s, _, err := treesToSchedule(alg, topo, elems, trees, workers, nil)
+		return s, err
 	}
 	o.PhaseStart(obs.PhaseLowering)
-	s, err := treesToSchedule(alg, topo, elems, trees)
-	var c obs.PlanCounters
-	if s != nil {
-		c.Transfers = int64(len(s.Transfers))
-	}
+	s, c, err := treesToSchedule(alg, topo, elems, trees, workers, o)
 	o.PhaseEnd(obs.PhaseLowering, c)
 	return s, err
 }
 
-func treesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree) (*Schedule, error) {
-	s := NewSchedule(alg, topo, elems, len(trees))
-	tot := 0
-	for _, tr := range trees {
-		if err := tr.Validate(); err != nil {
-			return nil, err
-		}
-		if h := tr.Height(); h > tot {
-			tot = h
-		}
-	}
-	for _, tr := range trees {
-		n := len(tr.Parent)
+// treeLowerPlan is one tree's slot assignment in the shared output
+// arrays, fixed by the sequential sizing pass so the parallel fill pass
+// writes disjoint regions.
+type treeLowerPlan struct {
+	height   int // max AGStep
+	edges    int // member non-root nodes; the tree emits 2*edges transfers
+	rootKids int // children attached directly to the root
+	xferOff  int // first transfer index in Schedule.Transfers
+	rOff     int // first slot in the reduce-dependency arena
+	gOff     int // first slot in the gather-dependency arena
+	gLen     int // gather-dependency slots reserved (upper bound)
+	pOff     int // first slot in the reversed-path arena
+	pLen     int // reversed-path hops reserved
+	deps     int64
+	hops     int64
+}
 
-		// Reduce phase, deepest level first so dependencies reference
-		// already-added transfers.
-		reduceInto := make([][]TransferID, n) // Reduce transfers received per node
-		reduceFrom := make([]TransferID, n)   // the Reduce each non-root node sends
-		type edge struct {
-			child topology.NodeID
-			step  int
+// lowerScratch is one worker's reusable per-tree working state; all
+// slices are indexed by node id and grown to the largest tree seen.
+type lowerScratch struct {
+	cnt        []int32 // children per node
+	rPos       []int   // node's region offset in the reduce-dep arena
+	rFill      []int32 // filled entries in that region
+	reduceFrom []TransferID
+	gatherInto []TransferID
+	stepOff    []int             // counting-sort bucket bounds by AGStep
+	kids       []topology.NodeID // children in (step asc, id asc) order
+}
+
+func (sc *lowerScratch) grow(n, height int) {
+	if len(sc.cnt) < n {
+		sc.cnt = make([]int32, n)
+		sc.rPos = make([]int, n)
+		sc.rFill = make([]int32, n)
+		sc.reduceFrom = make([]TransferID, n)
+		sc.gatherInto = make([]TransferID, n)
+		sc.kids = make([]topology.NodeID, n)
+	}
+	if len(sc.stepOff) < height+2 {
+		sc.stepOff = make([]int, height+2)
+	}
+}
+
+func treesToSchedule(alg string, topo *topology.Topology, elems int, trees []*Tree, workers int, o obs.PlanObserver) (*Schedule, obs.PlanCounters, error) {
+	s := NewSchedule(alg, topo, elems, len(trees))
+	var counters obs.PlanCounters
+	k := len(trees)
+	plans := make([]treeLowerPlan, k)
+	errs := make([]error, k)
+
+	// Sizing pass: validate each tree and count its transfers, dependency
+	// slots and reversed-path hops. Per tree: the reduce side emits one
+	// transfer per edge whose deps exactly fill the parent's child-count
+	// region; the gather side needs at most 2 slots per edge, except edges
+	// off the root, which copy the root's full reduce fan-in plus one.
+	runTreeTasks(workers, k, func(_, i int) {
+		tr := trees[i]
+		if err := tr.Validate(); err != nil {
+			errs[i] = err
+			return
 		}
-		var edges []edge
-		for node := 0; node < n; node++ {
+		pl := &plans[i]
+		for node := 0; node < len(tr.Parent); node++ {
 			if tr.Members != nil && !tr.Members[node] {
 				continue
 			}
-			if topology.NodeID(node) != tr.Root {
-				edges = append(edges, edge{topology.NodeID(node), tr.AGStep[node]})
+			if topology.NodeID(node) == tr.Root {
+				continue
 			}
+			pl.edges++
+			if tr.Parent[node] == tr.Root {
+				pl.rootKids++
+			}
+			if st := tr.AGStep[node]; st > pl.height {
+				pl.height = st
+			}
+			pl.pLen += len(tr.Path[node])
 		}
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].step != edges[j].step {
-				return edges[i].step > edges[j].step // deepest first for reduce
-			}
-			return edges[i].child < edges[j].child
-		})
-		for _, e := range edges {
-			p := tr.Parent[e.child]
-			var deps []TransferID
-			deps = append(deps, reduceInto[e.child]...)
-			id := s.Add(Transfer{
-				Src: e.child, Dst: p, Op: Reduce, Flow: tr.Flow,
-				Step: tot - e.step + 1,
-				Deps: deps,
-				Path: reversePath(topo, tr.Path[e.child]),
-			})
-			reduceFrom[e.child] = id
-			reduceInto[p] = append(reduceInto[p], id)
-		}
-
-		// Gather phase, shallowest level first.
-		sort.Slice(edges, func(i, j int) bool {
-			if edges[i].step != edges[j].step {
-				return edges[i].step < edges[j].step
-			}
-			return edges[i].child < edges[j].child
-		})
-		gatherInto := make([]TransferID, n)
-		for i := range gatherInto {
-			gatherInto[i] = -1
-		}
-		for _, e := range edges {
-			p := tr.Parent[e.child]
-			var deps []TransferID
-			if p == tr.Root {
-				deps = append(deps, reduceInto[tr.Root]...)
-			} else if gatherInto[p] >= 0 {
-				deps = append(deps, gatherInto[p])
-			}
-			// A node cannot forward downstream before it has stopped
-			// needing its buffer for the reduce it sent upstream; the
-			// gather overwrites the same segment, so order after its own
-			// reduce send.
-			if topology.NodeID(e.child) != tr.Root {
-				deps = append(deps, reduceFrom[e.child])
-			}
-			id := s.Add(Transfer{
-				Src: p, Dst: e.child, Op: Gather, Flow: tr.Flow,
-				Step: tot + e.step,
-				Deps: deps,
-				Path: tr.Path[e.child],
-			})
-			gatherInto[e.child] = id
+		pl.gLen = 2*(pl.edges-pl.rootKids) + pl.rootKids*(pl.rootKids+1)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, counters, err
 		}
 	}
+
+	// Sequential merge plan: prefix sums assign every tree its transfer-id
+	// range and arena regions; tot (the global schedule depth) comes from
+	// the same pass.
+	tot, nXfer, nRDep, nGDep, nPath := 0, 0, 0, 0, 0
+	for i := range plans {
+		pl := &plans[i]
+		pl.xferOff, pl.rOff, pl.gOff, pl.pOff = nXfer, nRDep, nGDep, nPath
+		nXfer += 2 * pl.edges
+		nRDep += pl.edges
+		nGDep += pl.gLen
+		nPath += pl.pLen
+		if pl.height > tot {
+			tot = pl.height
+		}
+	}
+	s.Transfers = make([]Transfer, nXfer)
+	reduceDeps := make([]TransferID, nRDep)
+	gatherDeps := make([]TransferID, nGDep)
+	pathArena := make([]topology.LinkID, nPath)
+
+	// Fill pass: each worker lowers whole trees into their regions.
+	var done atomic.Int64
+	scratches := make([]lowerScratch, max(workers, 1))
+	runTreeTasks(workers, k, func(w, i int) {
+		pl := &plans[i]
+		lowerTree(topo, trees[i], pl, tot, s.Transfers, reduceDeps, gatherDeps, pathArena, &scratches[w])
+		if o != nil {
+			o.PlanProgress(obs.PhaseLowering, done.Add(int64(2*pl.edges)), int64(nXfer))
+		}
+	})
+	for i := range plans {
+		counters.DepEdges += plans[i].deps
+		counters.PathHops += plans[i].hops
+	}
+	counters.Transfers = int64(nXfer)
 	s.Steps = 2 * tot
-	return s, nil
+	return s, counters, nil
 }
 
-// reversePath returns the opposite-direction link path, used to derive
-// reduce-scatter routes from allocated all-gather routes.
-func reversePath(topo *topology.Topology, path []topology.LinkID) []topology.LinkID {
-	if path == nil {
-		return nil
+// lowerTree emits one tree's transfers into its reserved regions. Reduce
+// transfers go deepest level first so dependencies reference
+// already-emitted transfers; gather transfers go shallowest first; within
+// a level, children ascend by id — the exact order the append-based
+// lowering produced, so transfer ids and bytes are unchanged.
+func lowerTree(topo *topology.Topology, tr *Tree, pl *treeLowerPlan, tot int,
+	xfers []Transfer, reduceDeps, gatherDeps []TransferID, pathArena []topology.LinkID, sc *lowerScratch) {
+	n := len(tr.Parent)
+	sc.grow(n, pl.height)
+	so := sc.stepOff[:pl.height+2]
+	for i := range so {
+		so[i] = 0
 	}
-	out := make([]topology.LinkID, len(path))
-	for i, id := range path {
-		l := topo.Link(id)
-		out[len(path)-1-i] = topo.ReverseLink(l)
+	for node := 0; node < n; node++ {
+		sc.cnt[node] = 0
+		sc.gatherInto[node] = -1
 	}
-	return out
+
+	// Counting sort of edges by attach step: after the placement loop,
+	// bucket st spans kids[so[st-1]:so[st]] in ascending child id.
+	for node := 0; node < n; node++ {
+		if tr.Members != nil && !tr.Members[node] {
+			continue
+		}
+		if topology.NodeID(node) == tr.Root {
+			continue
+		}
+		so[tr.AGStep[node]+1]++
+		sc.cnt[tr.Parent[node]]++
+	}
+	for st := 1; st < len(so); st++ {
+		so[st] += so[st-1]
+	}
+	for node := 0; node < n; node++ {
+		if tr.Members != nil && !tr.Members[node] {
+			continue
+		}
+		if topology.NodeID(node) == tr.Root {
+			continue
+		}
+		st := tr.AGStep[node]
+		sc.kids[so[st]] = topology.NodeID(node)
+		so[st]++
+	}
+
+	// Each node's reduce fan-in region in the shared arena.
+	off := pl.rOff
+	for node := 0; node < n; node++ {
+		sc.rPos[node] = off
+		off += int(sc.cnt[node])
+		sc.rFill[node] = 0
+	}
+
+	// Reduce phase, deepest level first. A child attaches strictly later
+	// than its (non-root) parent, so by the time an edge is emitted the
+	// child's fan-in region is complete and can be aliased as Deps.
+	seq := pl.xferOff
+	pcur := pl.pOff
+	var depCount, hopCount int64
+	for st := pl.height; st >= 1; st-- {
+		for _, c := range sc.kids[so[st-1]:so[st]] {
+			p := tr.Parent[c]
+			var deps []TransferID
+			if f := int(sc.rFill[c]); f > 0 {
+				deps = reduceDeps[sc.rPos[c] : sc.rPos[c]+f : sc.rPos[c]+f]
+			}
+			var path []topology.LinkID
+			if tp := tr.Path[c]; tp != nil {
+				path = pathArena[pcur : pcur+len(tp) : pcur+len(tp)]
+				for i, id := range tp {
+					path[len(tp)-1-i] = topo.ReverseLink(topo.Link(id))
+				}
+				pcur += len(tp)
+			}
+			id := TransferID(seq)
+			xfers[seq] = Transfer{
+				ID: id, Src: c, Dst: p, Op: Reduce, Flow: tr.Flow,
+				Step: tot - st + 1,
+				Deps: deps,
+				Path: path,
+			}
+			seq++
+			sc.reduceFrom[c] = id
+			reduceDeps[sc.rPos[p]+int(sc.rFill[p])] = id
+			sc.rFill[p]++
+			depCount += int64(len(deps))
+			hopCount += int64(len(path))
+		}
+	}
+
+	// Gather phase, shallowest level first. Deps: the gather received from
+	// the parent (at the root: the completed reduction fan-in), then the
+	// child's own reduce send — a node cannot forward downstream before it
+	// has stopped needing its buffer for the reduce it sent upstream; the
+	// gather overwrites the same segment.
+	gcur := pl.gOff
+	for st := 1; st <= pl.height; st++ {
+		for _, c := range sc.kids[so[st-1]:so[st]] {
+			p := tr.Parent[c]
+			start := gcur
+			if p == tr.Root {
+				root := int(tr.Root)
+				gcur += copy(gatherDeps[gcur:], reduceDeps[sc.rPos[root]:sc.rPos[root]+int(sc.rFill[root])])
+			} else if g := sc.gatherInto[p]; g >= 0 {
+				gatherDeps[gcur] = g
+				gcur++
+			}
+			gatherDeps[gcur] = sc.reduceFrom[c]
+			gcur++
+			deps := gatherDeps[start:gcur:gcur]
+			id := TransferID(seq)
+			xfers[seq] = Transfer{
+				ID: id, Src: p, Dst: c, Op: Gather, Flow: tr.Flow,
+				Step: tot + st,
+				Deps: deps,
+				Path: tr.Path[c],
+			}
+			seq++
+			sc.gatherInto[c] = id
+			depCount += int64(len(deps))
+			hopCount += int64(len(tr.Path[c]))
+		}
+	}
+	pl.deps, pl.hops = depCount, hopCount
+}
+
+// runTreeTasks runs fn(worker, i) for i in [0, k), fanning out over up to
+// workers goroutines pulling indices from a shared cursor. fn instances
+// must write disjoint state; worker indexes per-goroutine scratch.
+func runTreeTasks(workers, k int, fn func(worker, i int)) {
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= k {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
 }

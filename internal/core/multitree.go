@@ -203,7 +203,7 @@ func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedu
 		if err != nil {
 			return nil, err
 		}
-		sf, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, first, o)
+		sf, err := collective.TreesToScheduleParallel(Algorithm, topo, elems, first, opts.Workers, o)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +211,7 @@ func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedu
 			tracker.finish()
 			return sf, nil
 		}
-		ss, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, shortest, o)
+		ss, err := collective.TreesToScheduleParallel(Algorithm, topo, elems, shortest, opts.Workers, o)
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +232,7 @@ func Build(topo *topology.Topology, elems int, opts Options) (*collective.Schedu
 	if err != nil {
 		return nil, err
 	}
-	s, err := collective.TreesToScheduleObserved(Algorithm, topo, elems, trees, o)
+	s, err := collective.TreesToScheduleParallel(Algorithm, topo, elems, trees, opts.Workers, o)
 	if err == nil {
 		tracker.finish()
 	}

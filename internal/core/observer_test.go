@@ -119,8 +119,10 @@ func TestPlanProfilePhases(t *testing.T) {
 		t.Errorf("lowering transfers = %d, want %d", lower.Counters.Transfers, len(s.Transfers))
 	}
 
+	// Lowering emits progress after tree growth, so the final sample is
+	// the lowering phase completing all transfers.
 	phase, done, total := p.Progress()
-	if phase != obs.PhaseTreeGrowth || done != total || total != int64(n*(n-1)) {
+	if phase != obs.PhaseLowering || done != total || total != int64(len(s.Transfers)) {
 		t.Errorf("final progress %v %d/%d", phase, done, total)
 	}
 	pdone, ptotal := p.PipelineProgress()

@@ -43,9 +43,16 @@ const (
 	PhaseNICompile
 
 	// PhaseCacheLookup is the plan-cache probe (internal/plancache): key
-	// derivation plus, on a hit, reading and strictly validating the
-	// stored schedule IR.
+	// derivation plus, on a hit, reading and validating the stored
+	// schedule IR.
 	PhaseCacheLookup
+
+	// PhaseValidate is schedule validation at binary-IR load time: either
+	// the O(1) summary + content-hash check of a trusted cache load or the
+	// full ValidateStrict pass (-verify-plan, or a v1 entry with no
+	// summary). It nests inside cache-lookup on warm loads, splitting the
+	// load cost into decode vs validate.
+	PhaseValidate
 
 	// NumPlanPhases bounds the phase ids; new phases append before it so
 	// recorded profiles keep their meaning.
@@ -65,6 +72,8 @@ func (p PlanPhase) String() string {
 		return "ni-compile"
 	case PhaseCacheLookup:
 		return "cache-lookup"
+	case PhaseValidate:
+		return "validate"
 	}
 	return "unknown"
 }
@@ -102,8 +111,15 @@ type PlanCounters struct {
 	// LinksAllocated counts links claimed for tree edges (path hops).
 	LinksAllocated int64
 
-	// Transfers is the number of schedule transfers emitted (lowering).
+	// Transfers is the number of schedule transfers emitted (lowering) or
+	// validated (validate).
 	Transfers int64
+
+	// DepEdges/PathHops count the dependency edges and pinned path hops
+	// emitted with those transfers (lowering) — together they are the
+	// lowering output size the arena allocator provisions.
+	DepEdges int64
+	PathHops int64
 
 	// TableEntries is the number of NI schedule-table entries compiled
 	// (ni-compile).
@@ -115,6 +131,12 @@ type PlanCounters struct {
 	CacheHits   int64
 	CacheMisses int64
 	CacheBytes  int64
+
+	// SummaryValidations/FullValidations count binary-IR loads accepted by
+	// the O(1) validation summary + content hash vs. loads that ran the
+	// full ValidateStrict pass (validate).
+	SummaryValidations int64
+	FullValidations    int64
 }
 
 // Add accumulates other into c.
@@ -128,10 +150,14 @@ func (c *PlanCounters) Add(other PlanCounters) {
 	c.LinkConflicts += other.LinkConflicts
 	c.LinksAllocated += other.LinksAllocated
 	c.Transfers += other.Transfers
+	c.DepEdges += other.DepEdges
+	c.PathHops += other.PathHops
 	c.TableEntries += other.TableEntries
 	c.CacheHits += other.CacheHits
 	c.CacheMisses += other.CacheMisses
 	c.CacheBytes += other.CacheBytes
+	c.SummaryValidations += other.SummaryValidations
+	c.FullValidations += other.FullValidations
 }
 
 // PlanObserver receives planner lifecycle callbacks. All methods must be
@@ -368,10 +394,15 @@ func (p *PlanProfile) Report() *PlanReport {
 			LinkConflicts:  ph.Counters.LinkConflicts,
 			LinksAllocated: ph.Counters.LinksAllocated,
 			Transfers:      ph.Counters.Transfers,
+			DepEdges:       ph.Counters.DepEdges,
+			PathHops:       ph.Counters.PathHops,
 			TableEntries:   ph.Counters.TableEntries,
 			CacheHits:      ph.Counters.CacheHits,
 			CacheMisses:    ph.Counters.CacheMisses,
 			CacheBytes:     ph.Counters.CacheBytes,
+
+			SummaryValidations: ph.Counters.SummaryValidations,
+			FullValidations:    ph.Counters.FullValidations,
 		})
 	}
 	return rep
@@ -382,16 +413,17 @@ func (p *PlanProfile) Report() *PlanReport {
 // is the format of the committed results/plan-profile-*.csv artifacts.
 func (p *PlanProfile) WriteCSV(w io.Writer) error {
 	rep := p.Report()
-	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,table_entries,cache_hits,cache_misses,cache_bytes"); err != nil {
+	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,dep_edges,path_hops,table_entries,cache_hits,cache_misses,cache_bytes,summary_validations,full_validations"); err != nil {
 		return err
 	}
 	for _, ph := range rep.Phases {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			ph.Phase, ph.Runs, ph.WallNanos, ph.Share,
 			ph.Steps, ph.TreesGrown, ph.NodesAttached,
 			ph.Searches, ph.SearchMisses, ph.LinksScanned, ph.LinkConflicts,
-			ph.LinksAllocated, ph.Transfers, ph.TableEntries,
-			ph.CacheHits, ph.CacheMisses, ph.CacheBytes); err != nil {
+			ph.LinksAllocated, ph.Transfers, ph.DepEdges, ph.PathHops, ph.TableEntries,
+			ph.CacheHits, ph.CacheMisses, ph.CacheBytes,
+			ph.SummaryValidations, ph.FullValidations); err != nil {
 			return err
 		}
 	}
@@ -506,11 +538,17 @@ func (p *Progress) detail(ph PlanPhase, c PlanCounters) string {
 		return fmt.Sprintf(" (%d steps, %d attachments, %d searches, %d misses)",
 			c.Steps, c.NodesAttached, c.Searches, c.SearchMisses)
 	case PhaseLowering:
-		return fmt.Sprintf(" (%d transfers)", c.Transfers)
+		return fmt.Sprintf(" (%d transfers, %d dep edges, %d path hops)", c.Transfers, c.DepEdges, c.PathHops)
 	case PhaseNICompile:
 		return fmt.Sprintf(" (%d table entries)", c.TableEntries)
 	case PhaseCacheLookup:
 		return fmt.Sprintf(" (%d hits, %d misses, %d bytes)", c.CacheHits, c.CacheMisses, c.CacheBytes)
+	case PhaseValidate:
+		mode := "full"
+		if c.SummaryValidations > 0 {
+			mode = "summary"
+		}
+		return fmt.Sprintf(" (%d transfers, %s)", c.Transfers, mode)
 	}
 	return ""
 }

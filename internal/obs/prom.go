@@ -128,6 +128,11 @@ func (h *PromHandler) WriteProm(w io.Writer) error {
 		p.metric("multitree_plan_links_scanned_total", "counter", "Directed links examined during searches.", nil, float64(c.LinksScanned))
 		p.metric("multitree_plan_link_conflicts_total", "counter", "Links skipped because occupied within the step.", nil, float64(c.LinkConflicts))
 		p.metric("multitree_plan_links_allocated_total", "counter", "Links claimed for tree edges.", nil, float64(c.LinksAllocated))
+		p.metric("multitree_plan_transfers_total", "counter", "Schedule transfers emitted by lowering.", nil, float64(c.Transfers))
+		p.metric("multitree_plan_dep_edges_total", "counter", "Dependency edges emitted by lowering.", nil, float64(c.DepEdges))
+		p.metric("multitree_plan_path_hops_total", "counter", "Pinned path hops emitted by lowering.", nil, float64(c.PathHops))
+		p.metric("multitree_plan_summary_validations_total", "counter", "Binary-IR loads accepted by validation summary + content hash.", nil, float64(c.SummaryValidations))
+		p.metric("multitree_plan_full_validations_total", "counter", "Binary-IR loads validated by the full ValidateStrict pass.", nil, float64(c.FullValidations))
 
 		phase, done, total := plan.Progress()
 		if total > 0 {
@@ -149,6 +154,8 @@ func (h *PromHandler) WriteProm(w io.Writer) error {
 		p.metric("multitree_plan_cache_read_bytes_total", "counter", "Schedule IR bytes loaded from the plan cache.", nil, float64(cache.BytesRead))
 		p.metric("multitree_plan_cache_written_bytes_total", "counter", "Schedule IR bytes stored into the plan cache.", nil, float64(cache.BytesWritten))
 		p.metric("multitree_plan_cache_evictions_total", "counter", "Plan-cache entries evicted to hold the size cap.", nil, float64(cache.Evictions))
+		p.metric("multitree_plan_cache_summary_validated_total", "counter", "Plan-cache hits accepted by validation summary + content hash.", nil, float64(cache.SummaryValidated))
+		p.metric("multitree_plan_cache_full_validated_total", "counter", "Plan-cache hits validated by the full ValidateStrict pass.", nil, float64(cache.FullValidated))
 	}
 	return p.err
 }

@@ -12,14 +12,18 @@ import (
 // report either round-trips exactly or fails loudly — the property the
 // CI smoke step checks. Additions bump the version; DecodeRunReport
 // keeps accepting the versions whose fields remain a subset of the
-// current struct (v2 added the additive plan_cache section, so v1
-// reports still decode).
-const RunReportSchema = "multitree-runreport/v2"
+// current struct (v2 added the additive plan_cache section; v3 added the
+// validate phase counters and cache validation-mode counts — so v1 and
+// v2 reports still decode).
+const RunReportSchema = "multitree-runreport/v3"
 
-// RunReportSchemaV1 is the previous schema identifier, still accepted by
-// DecodeRunReport: every v1 report is a valid v2 report without a
-// plan_cache section.
-const RunReportSchemaV1 = "multitree-runreport/v1"
+// RunReportSchemaV1 and RunReportSchemaV2 are previous schema
+// identifiers, still accepted by DecodeRunReport: their fields are strict
+// subsets of the current struct.
+const (
+	RunReportSchemaV1 = "multitree-runreport/v1"
+	RunReportSchemaV2 = "multitree-runreport/v2"
+)
 
 // RunReport is the machine-readable record of one CLI run: environment,
 // what was planned and simulated, where the wall time went, and the
@@ -122,10 +126,15 @@ type PhaseReport struct {
 	LinkConflicts  int64 `json:"link_conflicts,omitempty"`
 	LinksAllocated int64 `json:"links_allocated,omitempty"`
 	Transfers      int64 `json:"transfers,omitempty"`
+	DepEdges       int64 `json:"dep_edges,omitempty"`
+	PathHops       int64 `json:"path_hops,omitempty"`
 	TableEntries   int64 `json:"table_entries,omitempty"`
 	CacheHits      int64 `json:"cache_hits,omitempty"`
 	CacheMisses    int64 `json:"cache_misses,omitempty"`
 	CacheBytes     int64 `json:"cache_bytes,omitempty"`
+
+	SummaryValidations int64 `json:"summary_validations,omitempty"`
+	FullValidations    int64 `json:"full_validations,omitempty"`
 }
 
 // PlanCacheReport records one run's traffic against the content-addressed
@@ -139,6 +148,13 @@ type PlanCacheReport struct {
 	BytesRead    int64  `json:"bytes_read,omitempty"`
 	BytesWritten int64  `json:"bytes_written,omitempty"`
 	Evictions    int64  `json:"evictions,omitempty"`
+
+	// SummaryValidated/FullValidated split the hits by how the loaded
+	// entry was validated: by its O(1) validation summary + content hash,
+	// or by the full ValidateStrict pass (-verify-plan, or an entry
+	// predating validation summaries).
+	SummaryValidated int64 `json:"summary_validated,omitempty"`
+	FullValidated    int64 `json:"full_validated,omitempty"`
 }
 
 // SimReport aggregates engine-side observability for the run: the event
@@ -236,7 +252,7 @@ func DecodeRunReport(r io.Reader) (*RunReport, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("obs: invalid run report: %w", err)
 	}
-	if rep.Schema != RunReportSchema && rep.Schema != RunReportSchemaV1 {
+	if rep.Schema != RunReportSchema && rep.Schema != RunReportSchemaV1 && rep.Schema != RunReportSchemaV2 {
 		return nil, fmt.Errorf("obs: run report schema %q, want %q", rep.Schema, RunReportSchema)
 	}
 	var extra json.RawMessage

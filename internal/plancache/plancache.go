@@ -11,22 +11,27 @@
 //
 //	<dir>/<sha256 of the canonical key material>.plan
 //
-// Loads go through collective.ImportBinaryInto, so a hit is strictly validated
-// against the live topology (fingerprint match, path continuity, DAG
-// checks) before any caller sees it; a corrupted or stale entry is
-// deleted, logged, and reported as a miss — never an error. Stores write
-// to a temp file and rename, so concurrent writers (a parallel sweep
-// planning several sizes) and crashes can never leave a half-written
-// entry behind. An optional size cap evicts least-recently-used entries
-// (hits refresh an entry's mtime).
+// Loads stream through collective.ImportBinaryIntoOpts. A current-version
+// entry carries the exporter's validation summary and content hash, so a
+// hit is verified in O(bytes) — fingerprint match, summary cross-checks,
+// sha256 over the stream — instead of re-running the full DAG/path
+// validation over millions of transfers; Cache.VerifyFull restores the
+// full pass, and legacy (previous-version) entries always get it. Either
+// way a corrupted, tampered, or stale entry is deleted, logged, and
+// reported as a miss — never an error — so one bad file costs one
+// rebuild. Stores write to a temp file and rename, so concurrent writers
+// (a parallel sweep planning several sizes) and crashes can never leave
+// a half-written entry behind. An optional size cap evicts
+// least-recently-used entries (hits refresh an entry's mtime).
 package plancache
 
 import (
-	"bytes"
+	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -35,6 +40,7 @@ import (
 	"time"
 
 	"multitree/internal/collective"
+	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
@@ -50,12 +56,24 @@ type Stats struct {
 	BytesRead    int64
 	BytesWritten int64
 	Evictions    int64
+
+	// SummaryLoads counts hits accepted on the entry's embedded
+	// validation summary + content hash; FullLoads counts hits that ran
+	// the complete ValidateStrict pass (legacy-version entries, or
+	// VerifyFull). SummaryLoads + FullLoads == Hits.
+	SummaryLoads int64
+	FullLoads    int64
 }
 
 // Cache is an open plan-cache directory. Safe for concurrent use.
 type Cache struct {
 	dir      string
 	maxBytes int64
+
+	// VerifyFull makes every hit re-run the complete schedule validation
+	// pass instead of trusting the entry's store-time summary — the
+	// -verify-plan escape hatch. Set before use; not synchronized.
+	VerifyFull bool
 
 	// Log, when non-nil, receives warnings about discarded entries and
 	// failed stores (log.Printf-shaped). The cache never fails a build:
@@ -114,11 +132,19 @@ func (c *Cache) logf(format string, args ...any) {
 
 // Get loads the entry for key onto topo, returning the schedule and the
 // IR bytes read. ok = false is a miss, never an error: the entry was
-// absent, unreadable, or failed the IR's strict validation; invalid
-// entries are deleted and logged so one corrupt file costs one rebuild,
-// not every future run.
+// absent, unreadable, or failed validation; invalid entries are deleted
+// and logged so one corrupt file costs one rebuild, not every future
+// run. Equivalent to GetObserved with a nil observer.
 func (c *Cache) Get(key string, topo *topology.Topology) (s *collective.Schedule, bytesRead int64, ok bool) {
-	data, err := os.ReadFile(c.path(key))
+	return c.GetObserved(key, topo, nil)
+}
+
+// GetObserved is Get with planner-phase observation: the entry's
+// validation work (summary check or full pass) reports to o as the
+// validate phase. The entry streams from disk through a bounded buffer;
+// nothing materializes the whole file.
+func (c *Cache) GetObserved(key string, topo *topology.Topology, o obs.PlanObserver) (s *collective.Schedule, bytesRead int64, ok bool) {
+	f, err := os.Open(c.path(key))
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
 			c.logf("plancache: discarding unreadable entry %s: %v", key, err)
@@ -127,7 +153,16 @@ func (c *Cache) Get(key string, topo *topology.Topology) (s *collective.Schedule
 		c.count(func(s *Stats) { s.Misses++ })
 		return nil, 0, false
 	}
-	s, err = collective.ImportBinaryInto(bytes.NewReader(data), topo)
+	defer f.Close()
+	var size int64
+	if info, err := f.Stat(); err == nil {
+		size = info.Size()
+	}
+	s, li, err := collective.ImportBinaryIntoOpts(f, topo, collective.BinaryImportOptions{
+		VerifyFull: c.VerifyFull,
+		SizeHint:   size,
+		Observer:   o,
+	})
 	if err != nil {
 		c.logf("plancache: discarding invalid entry %s: %v (rebuilding)", key, err)
 		os.Remove(c.path(key))
@@ -139,45 +174,61 @@ func (c *Cache) Get(key string, topo *topology.Topology) (s *collective.Schedule
 	_ = os.Chtimes(c.path(key), now, now)
 	c.count(func(st *Stats) {
 		st.Hits++
-		st.BytesRead += int64(len(data))
+		st.BytesRead += size
+		if li.Validation == "summary" {
+			st.SummaryLoads++
+		} else {
+			st.FullLoads++
+		}
 	})
-	return s, int64(len(data)), true
+	return s, size, true
+}
+
+// countingWriter tracks bytes handed to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
 }
 
 // Put stores the schedule under key, atomically (temp file + rename),
-// then enforces the size cap; it returns the IR bytes written. Failures
+// then enforces the size cap; it returns the IR bytes written. The IR
+// streams straight to the temp file through a buffered writer. Failures
 // are logged and reported; the caller already holds the built schedule,
 // so nothing is lost.
 func (c *Cache) Put(key string, s *collective.Schedule) (int64, error) {
-	var buf bytes.Buffer
-	if err := collective.ExportBinary(&buf, s); err != nil {
-		c.logf("plancache: not storing %s: %v", key, err)
-		return 0, err
-	}
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		c.logf("plancache: not storing %s: %v", key, err)
 		return 0, err
 	}
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
+	cw := &countingWriter{w: tmp}
+	bw := bufio.NewWriterSize(cw, 1<<18)
+	err = collective.ExportBinary(bw, s)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err == nil {
+		err = tmp.Close()
+	} else {
 		tmp.Close()
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), c.path(key))
+	}
+	if err != nil {
 		os.Remove(tmp.Name())
 		c.logf("plancache: not storing %s: %v", key, err)
 		return 0, err
 	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		c.logf("plancache: not storing %s: %v", key, err)
-		return 0, err
-	}
-	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		c.logf("plancache: not storing %s: %v", key, err)
-		return 0, err
-	}
-	c.count(func(st *Stats) { st.BytesWritten += int64(buf.Len()) })
+	c.count(func(st *Stats) { st.BytesWritten += cw.n })
 	c.evict(key)
-	return int64(buf.Len()), nil
+	return cw.n, nil
 }
 
 // evict deletes least-recently-used entries until the directory fits the

@@ -1,0 +1,158 @@
+package plancache_test
+
+// Tests of the trusted-load path: current-version entries are accepted
+// on their store-time validation summary + content hash, legacy entries
+// and VerifyFull fall back to the full validation pass, and any
+// tampering — even tampering that leaves the summary intact — degrades
+// to a rebuild, never a wrong schedule.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multitree/internal/collective"
+	"multitree/internal/plancache"
+	"multitree/internal/topology"
+)
+
+// TestSummaryValidatedHit: a freshly stored entry loads back on the
+// summary path, and the stats say so.
+func TestSummaryValidatedHit(t *testing.T) {
+	c, err := plancache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Torus(4, 4, cfg())
+	key := plancache.Key(topo, "multitree", 1024, 0)
+	if _, err := c.Put(key, build(t, topo, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); !ok {
+		t.Fatal("miss after Put")
+	}
+	st := c.Stats()
+	if st.SummaryLoads != 1 || st.FullLoads != 0 {
+		t.Fatalf("stats = %+v, want the hit summary-validated", st)
+	}
+}
+
+// TestVerifyFullHit: with VerifyFull set, the same entry takes the full
+// validation pass instead.
+func TestVerifyFullHit(t *testing.T) {
+	c, err := plancache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.VerifyFull = true
+	topo := topology.Torus(4, 4, cfg())
+	key := plancache.Key(topo, "multitree", 1024, 0)
+	if _, err := c.Put(key, build(t, topo, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); !ok {
+		t.Fatal("miss after Put")
+	}
+	st := c.Stats()
+	if st.FullLoads != 1 || st.SummaryLoads != 0 {
+		t.Fatalf("stats = %+v, want the hit full-validated", st)
+	}
+}
+
+// TestTamperedEntryRebuilt: flipping one bit of a stored entry's
+// transfer section — leaving the header and validation summary intact —
+// is caught (by the content hash when the stream still decodes, by the
+// decoder otherwise), and the entry degrades to a logged miss plus a
+// clean re-store. No byte flip may ever serve as a hit.
+func TestTamperedEntryRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	c, err := plancache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings []string
+	c.Log = func(format string, args ...any) {
+		warnings = append(warnings, format)
+	}
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	key := plancache.Key(topo, "multitree", 1024, 0)
+	if _, err := c.Put(key, s); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, key+".plan")
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a low bit deep in the transfer section: small varint values
+	// stay decodable, so the summary cross-checks pass and only the
+	// content hash can notice.
+	bad := bytes.Clone(good)
+	bad[len(bad)-len(bad)/4] ^= 0x01
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); ok {
+		t.Fatal("tampered entry served as a hit")
+	}
+	if len(warnings) != 1 || !strings.Contains(warnings[0], "discarding invalid entry") {
+		t.Fatalf("warnings = %q, want one discard warning", warnings)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("tampered entry not deleted")
+	}
+	// The rebuild path: a re-store round-trips and validates as summary.
+	if _, err := c.Put(key, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(key, topo); !ok {
+		t.Fatal("miss after re-store")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 || st.SummaryLoads != 1 {
+		t.Fatalf("stats = %+v, want 1 tamper miss then 1 summary hit", st)
+	}
+}
+
+// TestStaleVersionFullValidation: an entry written in the legacy binary
+// version (no summary) still loads — through the full validation pass —
+// so a cache populated by an older build keeps working after an upgrade
+// that accepts the old format.
+func TestStaleVersionFullValidation(t *testing.T) {
+	dir := t.TempDir()
+	c, err := plancache.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	key := plancache.Key(topo, "multitree", 1024, 0)
+	var v1 bytes.Buffer
+	if err := collective.ExportBinaryV1(&v1, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, key+".plan"), v1.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := c.Get(key, topo)
+	if !ok {
+		t.Fatal("legacy-version entry did not load")
+	}
+	st := c.Stats()
+	if st.FullLoads != 1 || st.SummaryLoads != 0 {
+		t.Fatalf("stats = %+v, want the legacy hit full-validated", st)
+	}
+	var want, have bytes.Buffer
+	if err := collective.Export(&want, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := collective.Export(&have, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), have.Bytes()) {
+		t.Fatal("legacy entry's schedule differs from the built one")
+	}
+}

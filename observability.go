@@ -112,12 +112,17 @@ func OpenPlanCache(dir string, maxBytes int64) (*PlanCache, error) {
 func (c *PlanCache) Dir() string { return c.c.Dir() }
 
 // PlanCacheStats is a snapshot of a cache's traffic counters.
+// SummaryLoads counts hits accepted on the entry's store-time validation
+// summary + content hash; FullLoads counts hits that re-ran the complete
+// schedule validation (legacy entries, or VerifyFull).
 type PlanCacheStats struct {
 	Hits         int64
 	Misses       int64
 	BytesRead    int64
 	BytesWritten int64
 	Evictions    int64
+	SummaryLoads int64
+	FullLoads    int64
 }
 
 // Stats returns the cache's traffic so far.
@@ -125,6 +130,11 @@ func (c *PlanCache) Stats() PlanCacheStats {
 	s := c.c.Stats()
 	return PlanCacheStats(s)
 }
+
+// SetVerifyFull makes every subsequent cache hit re-run the complete
+// schedule validation pass instead of trusting the entry's store-time
+// summary. Call before handing the cache to a build.
+func (c *PlanCache) SetVerifyFull(v bool) { c.c.VerifyFull = v }
 
 // PlanOptions tunes how BuildScheduleOptions plans: none of its fields
 // change the schedule built, only how fast it is produced and what is

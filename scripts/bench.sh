@@ -28,8 +28,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=results/BENCH_pr7.json
-DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead|BenchmarkFluidSweep_Torus8x8|BenchmarkFluidEngineSteadyState|BenchmarkPlanMesh16x16|BenchmarkPlanCacheWarmLoad)$'
+BASELINE=results/BENCH_pr8.json
+DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead|BenchmarkFluidSweep_Torus8x8|BenchmarkFluidEngineSteadyState|BenchmarkPlanMesh16x16|BenchmarkPlanCacheWarmLoad|BenchmarkLowerMesh32x32)$'
 NS_FACTOR=${NS_FACTOR:-4}
 
 mode=record
