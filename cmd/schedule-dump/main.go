@@ -33,8 +33,9 @@
 // -report writes the versioned run report, -planprofile the planner
 // phase CSV, -progress live planner progress on stderr, and
 // -cpuprofile/-memprofile the pprof profiles. So do the planner-scaling
-// flags: -plan-workers N grows trees in parallel (the schedule is
-// byte-identical for every N), and -plan-cache DIR makes -export load a
+// flags: -plan-workers N grows trees in parallel and -plan-shards N
+// grows them in fabric shards (the schedule is byte-identical for every
+// count of either), and -plan-cache DIR makes -export load a
 // previously built schedule from the content-addressed cache instead of
 // re-planning it.
 //
@@ -90,6 +91,7 @@ func main() {
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory for -export: schedules load from it when present and are stored after a fresh build")
 		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		planShards   = flag.Int("plan-shards", 1, "sharded tree growth for the MultiTree planner (geometric root partition); the schedule built is byte-identical for every value")
 		verifyPlan   = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 	)
 	flag.Parse()
@@ -108,7 +110,7 @@ func main() {
 		ReportPath: *reportPath, PlanCSVPath: *planCSV,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
-		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, VerifyPlan: *verifyPlan,
+		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, PlanShards: *planShards, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -247,12 +249,23 @@ func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string,
 	// gigabytes. Any other extension keeps the JSON interchange IR that
 	// allreduce-bench -schedule consumes.
 	encode := collective.Export
+	wrote := false
 	if strings.HasSuffix(path, ".plan") {
 		encode = collective.ExportBinary
+		// With a plan cache attached, the entry for this build holds the
+		// exact ExportBinary bytes (stored on a miss, validated on a
+		// hit), so the export is a stream copy — skipping a second
+		// encode+hash pass over what is ~631 MB at mesh-64x64. Any copy
+		// failure falls back to encoding.
+		if src, ok := run.CacheEntryPath(); ok {
+			wrote = copyFile(path, src) == nil
+		}
 	}
-	writeFile(path, func(w io.Writer) error {
-		return encode(w, s)
-	})
+	if !wrote {
+		writeFile(path, func(w io.Writer) error {
+			return encode(w, s)
+		})
+	}
 	// The machine-grepable export summary: entity counts plus how the
 	// plan was validated ("fresh build", or a cache hit accepted on its
 	// stored summary vs. the full re-validation pass).
@@ -335,6 +348,23 @@ func traceSchedule(topo *topology.Topology, trees []*collective.Tree, traceOut, 
 		})
 		log.Printf("wrote %s", linkstats)
 	}
+}
+
+func copyFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
 }
 
 func writeFile(path string, fn func(io.Writer) error) {

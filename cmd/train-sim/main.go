@@ -20,8 +20,9 @@
 // The shared observability flags of allreduce-bench also apply here:
 // -report writes the versioned run report, -progress live planner
 // progress on stderr, and -cpuprofile/-memprofile the pprof profiles —
-// as do the planner-scaling flags -plan-workers (parallel tree growth)
-// and -plan-cache (content-addressed on-disk schedule cache).
+// as do the planner-scaling flags -plan-workers (parallel tree growth),
+// -plan-shards (sharded tree growth) and -plan-cache (content-addressed
+// on-disk schedule cache).
 package main
 
 import (
@@ -67,6 +68,7 @@ func main() {
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory: gradient all-reduce schedules load from it when present and are stored after a fresh build")
 		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		planShards   = flag.Int("plan-shards", 1, "sharded tree growth for the MultiTree planner (geometric root partition); the schedule built is byte-identical for every value")
 		verifyPlan   = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 	)
 	flag.Parse()
@@ -87,7 +89,7 @@ func main() {
 		ReportPath:   *reportPath,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
-		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, VerifyPlan: *verifyPlan,
+		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, PlanShards: *planShards, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -216,6 +218,7 @@ func printLayerProfile(topo *topology.Topology, name string, run *cliutil.Run) {
 	opts := core.DefaultOptions(topo)
 	opts.Observer = run.PlanObserver()
 	opts.Workers = run.BuildOptions().Workers
+	opts.Shards = run.BuildOptions().Shards
 	trees, err := core.BuildTrees(topo, opts)
 	if err != nil {
 		log.Fatal(err)

@@ -46,6 +46,13 @@ type Options struct {
 	// sequential. The schedule built is identical for every value.
 	Workers int
 
+	// Shards partitions multitree's root set geometrically and grows
+	// each shard's trees on its own goroutine against a private link
+	// pool, merged deterministically; <= 1 means unsharded. Like
+	// Workers, the schedule built is identical for every value, so
+	// Shards is not part of the cache key.
+	Shards int
+
 	// Cache, when non-nil, is probed before construction and updated
 	// after it (see Build). Only schedule-shaping inputs enter the cache
 	// key; Workers and Observer do not.

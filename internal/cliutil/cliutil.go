@@ -151,6 +151,7 @@ type Config struct {
 	PlanCacheDir      string // -plan-cache: content-addressed plan cache directory
 	PlanCacheMaxBytes int64  // -plan-cache-max-bytes: LRU size cap, <= 0 uncapped
 	PlanWorkers       int    // -plan-workers: parallel tree growth + lowering, <= 1 sequential
+	PlanShards        int    // -plan-shards: sharded tree growth (geometric root partition), <= 1 off
 	VerifyPlan        bool   // -verify-plan: full re-validation of cache hits
 }
 
@@ -206,6 +207,9 @@ func StartRun(cfg Config) (*Run, error) {
 	if cfg.PlanWorkers > 1 {
 		r.Option("plan_workers", fmt.Sprintf("%d", cfg.PlanWorkers))
 	}
+	if cfg.PlanShards > 1 {
+		r.Option("plan_shards", fmt.Sprintf("%d", cfg.PlanShards))
+	}
 	if cfg.MetricsAddr != "" {
 		r.Prom = obs.NewPromHandler()
 		r.Prom.SetPlanProfile(r.Profile)
@@ -240,10 +244,12 @@ func (r *Run) PlanObserver() obs.PlanObserver {
 
 // BuildOptions returns the planner options to thread into schedule
 // builds: the run's observer fan-out, the plan cache, and the worker
-// count. Callers set per-build knobs (Chunks) on the returned value.
+// and shard counts. Callers set per-build knobs (Chunks) on the
+// returned value.
 func (r *Run) BuildOptions() algorithms.Options {
 	return algorithms.Options{
 		Workers:  r.cfg.PlanWorkers,
+		Shards:   r.cfg.PlanShards,
 		Cache:    r.Cache,
 		Observer: r.PlanObserver(),
 	}
@@ -278,6 +284,18 @@ func (r *Run) NoteCacheKey(topo *topology.Topology, algorithm string, elems, chu
 		return
 	}
 	r.cacheKey = plancache.Key(topo, spec.Name, elems, chunks)
+}
+
+// CacheEntryPath returns the on-disk cache entry for the key noted via
+// NoteCacheKey, when a cache is attached and the entry exists. The
+// entry's bytes are the schedule's exact binary-IR export (content
+// hash included), so tools writing that IR can copy the file instead
+// of encoding and hashing the same bytes a second time.
+func (r *Run) CacheEntryPath() (string, bool) {
+	if r.Cache == nil || r.cacheKey == "" {
+		return "", false
+	}
+	return r.Cache.EntryPath(r.cacheKey)
 }
 
 // ObserveSim folds one simulation's metrics into the run: the metrics

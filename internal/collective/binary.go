@@ -122,20 +122,51 @@ type BinaryLoadInfo struct {
 }
 
 // binWriter accumulates uvarints into one growing buffer; encoding a
-// schedule is a single allocation-amortized append stream.
+// schedule is a single allocation-amortized append stream. With out set
+// it instead streams: appends spill through the buffer — now a bounded
+// window — into the writer whenever it fills, so encoding never
+// materializes the body. Routing out through an io.MultiWriter over the
+// file and a hasher is the store's hash-while-write path.
 type binWriter struct {
+	out io.Writer
 	buf []byte
 	tmp [binary.MaxVarintLen64]byte
+	err error
+}
+
+// flush drains the window into out; a no-op in buffered mode.
+func (w *binWriter) flush() {
+	if w.out == nil {
+		return
+	}
+	if w.err == nil && len(w.buf) > 0 {
+		_, w.err = w.out.Write(w.buf)
+	}
+	w.buf = w.buf[:0]
+}
+
+// room makes space for an n-byte append in streaming mode.
+func (w *binWriter) room(n int) {
+	if w.out != nil && len(w.buf)+n > cap(w.buf) {
+		w.flush()
+	}
 }
 
 func (w *binWriter) uint(v uint64) {
 	n := binary.PutUvarint(w.tmp[:], v)
+	w.room(n)
 	w.buf = append(w.buf, w.tmp[:n]...)
 }
 
 func (w *binWriter) str(s string) {
 	w.uint(uint64(len(s)))
+	w.room(len(s))
 	w.buf = append(w.buf, s...)
+}
+
+func (w *binWriter) bytes(p []byte) {
+	w.room(len(p))
+	w.buf = append(w.buf, p...)
 }
 
 // witnessHash folds a topological order into its sha256 witness.
@@ -195,20 +226,11 @@ func summarize(s *Schedule, order []TransferID) ValidationSummary {
 	return sum
 }
 
-// ExportBinary writes the schedule in the binary IR. Like Export, every
-// transfer's link path is pinned, so the loaded schedule reproduces the
-// exact link-level behavior; unlike Export, the topology is recorded
-// only by fingerprint. The schedule is strictly validated here, at store
-// time, and the file carries the ValidationSummary + content hash that
-// let a later load trust the result without repeating the pass.
-func ExportBinary(w io.Writer, s *Schedule) error {
-	order, err := s.validatedOrder(true)
-	if err != nil {
-		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
-	}
-	sum := summarize(s, order)
-
-	bw := &binWriter{buf: make([]byte, 0, 64+16*len(s.Transfers))}
+// encodeBinaryBody emits everything after the header's content-hash
+// field — exactly the bytes the hash covers. Both export paths, the
+// buffered one and the streaming one, go through here, which is what
+// keeps their output byte-identical.
+func encodeBinaryBody(bw *binWriter, s *Schedule, sum ValidationSummary) {
 	bw.str(s.Algorithm)
 	bw.str(TopologyFingerprint(s.Topo))
 	bw.uint(uint64(s.Elems))
@@ -218,7 +240,7 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 	bw.uint(uint64(sum.PathHops))
 	bw.uint(uint64(sum.LinksUsed))
 	bw.uint(uint64(sum.CoveredElems))
-	bw.buf = append(bw.buf, sum.Witness[:]...)
+	bw.bytes(sum.Witness[:])
 	bw.uint(uint64(len(s.Flows)))
 	for _, r := range s.Flows {
 		bw.uint(uint64(r.Off))
@@ -245,6 +267,33 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 			bw.uint(uint64(id))
 		}
 	}
+}
+
+// ExportBinary writes the schedule in the binary IR. Like Export, every
+// transfer's link path is pinned, so the loaded schedule reproduces the
+// exact link-level behavior; unlike Export, the topology is recorded
+// only by fingerprint. The schedule is strictly validated here, at store
+// time, and the file carries the ValidationSummary + content hash that
+// let a later load trust the result without repeating the pass.
+//
+// When w can seek (a file), the body streams through a bounded window
+// with the sha256 computed as it goes, and the header's hash field is
+// patched afterwards — one pass over the bytes, no body-sized buffer.
+// A 631 MB mesh-64x64 entry previously paid for itself twice: once to
+// encode into memory, once to hash. Non-seekable writers keep the
+// buffered two-pass encoding; the emitted bytes are identical.
+func ExportBinary(w io.Writer, s *Schedule) error {
+	order, err := s.validatedOrder(true)
+	if err != nil {
+		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
+	}
+	sum := summarize(s, order)
+	if ws, ok := w.(io.WriteSeeker); ok {
+		return exportBinaryStream(ws, s, sum)
+	}
+
+	bw := &binWriter{buf: make([]byte, 0, 64+16*len(s.Transfers))}
+	encodeBinaryBody(bw, s, sum)
 
 	var head binWriter
 	head.buf = append(head.buf, binaryMagic[:]...)
@@ -255,6 +304,45 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 		return err
 	}
 	_, err = w.Write(bw.buf)
+	return err
+}
+
+// exportBinaryStream is ExportBinary's single-pass path for seekable
+// sinks: header with a zero hash placeholder, body streamed through the
+// window into MultiWriter(file, hasher), then a seek back to patch the
+// real digest over the placeholder.
+func exportBinaryStream(w io.WriteSeeker, s *Schedule, sum ValidationSummary) error {
+	start, err := w.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	var head binWriter
+	head.buf = append(head.buf, binaryMagic[:]...)
+	head.uint(BinaryIRVersion)
+	hashOff := int64(len(head.buf))
+	var placeholder [hashSize]byte
+	head.buf = append(head.buf, placeholder[:]...)
+	if _, err := w.Write(head.buf); err != nil {
+		return err
+	}
+
+	h := sha256.New()
+	bw := &binWriter{out: io.MultiWriter(w, h), buf: make([]byte, 0, 1<<18)}
+	encodeBinaryBody(bw, s, sum)
+	bw.flush()
+	if bw.err != nil {
+		return bw.err
+	}
+
+	var digest [hashSize]byte
+	h.Sum(digest[:0])
+	if _, err := w.Seek(start+hashOff, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := w.Write(digest[:]); err != nil {
+		return err
+	}
+	_, err = w.Seek(0, io.SeekEnd)
 	return err
 }
 

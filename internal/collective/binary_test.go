@@ -2,6 +2,7 @@ package collective_test
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -51,6 +52,42 @@ func TestBinaryRoundTrip(t *testing.T) {
 		if err := collective.VerifyAllReduce(imp, collective.RampInputs(topo.Nodes(), elems)); err != nil {
 			t.Fatalf("%s: binary-imported schedule fails correctness: %v", orig.Algorithm, err)
 		}
+	}
+}
+
+// TestBinaryStreamMatchesBuffered: the seekable hash-while-write path
+// (what the plan cache's Put drives through an *os.File) must produce
+// exactly the bytes of the buffered path — same digest field included —
+// and import cleanly. The two paths share the body encoder; this pins
+// the header/hash-patching plumbing around it.
+func TestBinaryStreamMatchesBuffered(t *testing.T) {
+	topo := topology.Torus(4, 4, topology.DefaultLinkConfig())
+	const elems = 1 << 12
+	s, err := core.Build(topo, elems, core.DefaultOptions(topo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buffered bytes.Buffer
+	if err := collective.ExportBinary(&buffered, s); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.CreateTemp(t.TempDir(), "stream-*.plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := collective.ExportBinary(f, s); err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buffered.Bytes(), streamed) {
+		t.Fatal("streaming export bytes differ from buffered export")
+	}
+	if _, err := collective.ImportBinaryInto(bytes.NewReader(streamed), topo); err != nil {
+		t.Fatalf("streamed export does not import: %v", err)
 	}
 }
 

@@ -377,6 +377,33 @@ func (s *Schedule) flowCoverageHole() (int, bool) {
 // multi-million-transfer schedule orders without per-node allocation.
 func (s *Schedule) TopoOrder() ([]TransferID, error) {
 	n := len(s.Transfers)
+	// Identity fast path: when every dependency points backwards (d < i),
+	// the min-id Kahn order is exactly 0..n-1 — by induction, after
+	// emitting 0..i-1 transfer i is ready and is the smallest ready id.
+	// The lowering emits transfers in exactly this shape (deps always
+	// reference earlier ids within the same tree's contiguous region), so
+	// planner-built schedules skip the heap entirely; anything with a
+	// forward or out-of-range dep falls through to the general algorithm,
+	// which also reports the range errors.
+	identity := true
+	for i := range s.Transfers {
+		for _, d := range s.Transfers[i].Deps {
+			if d < 0 || int(d) >= i {
+				identity = false
+				break
+			}
+		}
+		if !identity {
+			break
+		}
+	}
+	if identity {
+		order := make([]TransferID, n)
+		for i := range order {
+			order[i] = TransferID(i)
+		}
+		return order, nil
+	}
 	indeg := make([]int32, n)
 	succEnd := make([]int32, n) // cursor during fill; end-of-region after
 	var nDeps int

@@ -115,6 +115,50 @@ func TestTopoOrderRespectsDeps(t *testing.T) {
 	}
 }
 
+// TestTopoOrderIdentityFastPath pins the all-backward-deps shortcut:
+// planner-built schedules (deps always reference earlier ids) must come
+// back in identity order — which is what min-id Kahn produces for that
+// shape — while a single forward dep routes through the general
+// algorithm and still yields its min-id order.
+func TestTopoOrderIdentityFastPath(t *testing.T) {
+	s := NewSchedule("backward", testTopo(), 100, 1)
+	var prev TransferID = -1
+	for i := 0; i < 6; i++ {
+		var deps []TransferID
+		if prev >= 0 {
+			deps = []TransferID{prev}
+		}
+		prev = s.Add(Transfer{Src: topology.NodeID(i % 2), Dst: topology.NodeID(1 - i%2),
+			Op: Reduce, Flow: 0, Step: i + 1, Deps: deps})
+	}
+	order, err := s.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range order {
+		if int(id) != i {
+			t.Fatalf("backward-dep schedule ordered %v, want identity", order)
+		}
+	}
+
+	// 1 depends forward on 2: min-id Kahn emits 0, 2, 1, 3.
+	f := NewSchedule("forward", testTopo(), 100, 1)
+	f.Add(Transfer{Src: 0, Dst: 1, Op: Reduce, Flow: 0, Step: 1})
+	f.Add(Transfer{Src: 1, Dst: 2, Op: Reduce, Flow: 0, Step: 2, Deps: []TransferID{2}})
+	f.Add(Transfer{Src: 2, Dst: 1, Op: Reduce, Flow: 0, Step: 1})
+	f.Add(Transfer{Src: 1, Dst: 0, Op: Reduce, Flow: 0, Step: 3, Deps: []TransferID{1}})
+	order, err = f.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TransferID{0, 2, 1, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("forward-dep schedule ordered %v, want %v", order, want)
+		}
+	}
+}
+
 func TestTotalBytesAndPerNode(t *testing.T) {
 	s := NewSchedule("unit", testTopo(), 1000, 4)
 	s.Add(Transfer{Src: 0, Dst: 1, Op: Gather, Flow: 0, Step: 1})

@@ -43,3 +43,16 @@ func (b bitset) intersects(o bitset) bool {
 	}
 	return false
 }
+
+// intersectsDiff reports whether b shares a set bit with the symmetric
+// difference of x and y — the bits where the two sets disagree. The
+// sharded merge uses it to ask "did this search read any link whose
+// shard-pool state differs from the live pool?" in one pass.
+func (b bitset) intersectsDiff(x, y bitset) bool {
+	for i, w := range b {
+		if w&(x[i]^y[i]) != 0 {
+			return true
+		}
+	}
+	return false
+}

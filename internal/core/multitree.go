@@ -98,6 +98,18 @@ type Options struct {
 	// skips different redundant work than the sequential one, so counter
 	// totals may differ between Workers <= 1 and Workers > 1.
 	Workers int
+
+	// Shards partitions the root set geometrically (grid quadrants when
+	// the topology exposes grid dimensions, contiguous root bands
+	// otherwise) and grows each shard's trees against a private copy of
+	// the step's link pool on its own goroutine. The per-shard results
+	// merge through the same deterministic commit replay as Workers, so
+	// the trees built are byte-identical for every shard count — sharding
+	// only changes how much search work runs concurrently and how much
+	// the merge replays. <= 1 means unsharded; Shards takes precedence
+	// over Workers for the round itself (Workers still parallelizes the
+	// eccentricity pass and lowering).
+	Shards int
 }
 
 // DefaultOptions returns the recommended construction options for a

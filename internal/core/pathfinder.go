@@ -21,10 +21,32 @@ type treeMemo struct {
 	// The tree only grows, so such a parent can never extend it again,
 	// on any step.
 	dead []bool
+
+	// deadCount is the number of dead parents still present in the
+	// tree's eligible-parent list; growth compacts the list (dropping
+	// dead entries, order preserved) once the count dominates, so find
+	// stops re-skipping them every turn.
+	deadCount int
+
+	// skipStep/skipIdx memoize the leading run of the parent list that
+	// is proven unable to extend the tree this step (dead, or failed at
+	// skipStep). Both facts are monotone within a step, so the cursor
+	// only advances; a new step resets it.
+	skipStep int32
+	skipIdx  int
 }
 
 func newTreeMemo(n int) *treeMemo {
 	return &treeMemo{failedAt: make([]int32, n), dead: make([]bool, n)}
+}
+
+// markDead records a permanent failure, counting first-time marks so
+// growth knows when compacting the parent list pays.
+func (m *treeMemo) markDead(p topology.NodeID) {
+	if !m.dead[p] {
+		m.dead[p] = true
+		m.deadCount++
+	}
 }
 
 // pathFinder performs the per-parent breadth-first child search of
@@ -33,6 +55,13 @@ func newTreeMemo(n int) *treeMemo {
 type pathFinder struct {
 	topo    *topology.Topology
 	reverse bool
+
+	// direct marks a switchless topology (every vertex an end node with
+	// an integrated router). With full membership the breadth-first
+	// search then degenerates to a scan of the parent's own out-links —
+	// participating end nodes never relay, so the queue cannot grow —
+	// and bfs takes a fast path that skips the epoch/queue machinery.
+	direct bool
 
 	// members, when non-nil, restricts candidate children to member nodes
 	// (subset all-reduce, §VII-B); in direct networks non-member nodes'
@@ -56,6 +85,17 @@ type pathFinder struct {
 	// search may be committed without a replay.
 	touched bitset
 
+	// provisional defers this-step failure marks: sharded speculation
+	// searches a per-shard pool that is neither a superset nor a subset
+	// of the live pool, so a failedAt stamp derived from it is only
+	// valid if the turn later commits with a clean read-set diff. In
+	// provisional mode fresh failedAt marks land in failBuf for the
+	// merge to flush or discard; dead marks are pool-independent (zero
+	// conflicts seen means the full static neighborhood was explored)
+	// and are always written through.
+	provisional bool
+	failBuf     []topology.NodeID
+
 	// BFS scratch, reused across calls. A vertex counts as visited when
 	// its stamp equals the current epoch, so each search starts without
 	// clearing the arrays — the clear was the dominant cost of planning
@@ -71,6 +111,7 @@ func newPathFinder(topo *topology.Topology, reverse bool) *pathFinder {
 	return &pathFinder{
 		topo:      topo,
 		reverse:   reverse,
+		direct:    topo.Class() == topology.Direct && topo.Switches() == 0,
 		visitedAt: make([]uint64, topo.Vertices()),
 		via:       make([]topology.LinkID, topo.Vertices()),
 	}
@@ -84,6 +125,23 @@ func (f *pathFinder) fold(c *obs.PlanCounters) {
 	c.LinkConflicts += f.linkConflicts
 }
 
+// markFailure records a failed search rooted at parent p. Zero fresh
+// conflicts means the search saw the parent's full static neighborhood —
+// the failure is permanent and pool-independent, so it is recorded even
+// in provisional mode. Otherwise the failure only holds for this step on
+// this pool; provisional searches buffer it for the merge to decide.
+func (f *pathFinder) markFailure(m *treeMemo, p topology.NodeID, step int32, before int64) {
+	if f.linkConflicts == before {
+		m.markDead(p)
+		return
+	}
+	if f.provisional {
+		f.failBuf = append(f.failBuf, p)
+		return
+	}
+	m.failedAt[p] = step
+}
+
 // find scans candidate parents in their order of addition and returns the
 // first (child, parent, allocated path) reachable over free links, or
 // child = -1 when no parent can extend the tree this step. With
@@ -92,6 +150,21 @@ func (f *pathFinder) fold(c *obs.PlanCounters) {
 // extend the tree (this step, or ever) and records fresh failures.
 func (f *pathFinder) find(parents []topology.NodeID, inTree []bool, avail bitset, m *treeMemo, step int32) (topology.NodeID, topology.NodeID, []topology.LinkID) {
 	f.searches++
+	if m != nil {
+		// Skip the leading run of parents already proven futile this
+		// step in O(new failures) instead of re-testing them every turn.
+		// Dense steps issue many turns per tree; without the cursor each
+		// one rescans the same failed prefix.
+		if m.skipStep != step {
+			m.skipStep, m.skipIdx = step, 0
+		}
+		i := m.skipIdx
+		for i < len(parents) && (m.dead[parents[i]] || m.failedAt[parents[i]] == step) {
+			i++
+		}
+		m.skipIdx = i
+		parents = parents[i:]
+	}
 	if !f.shortestFirst {
 		for _, p := range parents {
 			if m != nil && (m.dead[p] || m.failedAt[p] == step) {
@@ -102,11 +175,7 @@ func (f *pathFinder) find(parents []topology.NodeID, inTree []bool, avail bitset
 				return c, p, path
 			}
 			if m != nil {
-				if f.linkConflicts == before {
-					m.dead[p] = true
-				} else {
-					m.failedAt[p] = step
-				}
+				f.markFailure(m, p, step, before)
 			}
 		}
 		f.searchMisses++
@@ -123,11 +192,7 @@ func (f *pathFinder) find(parents []topology.NodeID, inTree []bool, avail bitset
 		c, path := f.bfs(int(p), inTree, avail)
 		if c < 0 {
 			if m != nil {
-				if f.linkConflicts == before {
-					m.dead[p] = true
-				} else {
-					m.failedAt[p] = step
-				}
+				f.markFailure(m, p, step, before)
 			}
 			continue
 		}
@@ -151,6 +216,35 @@ func (f *pathFinder) find(parents []topology.NodeID, inTree []bool, avail bitset
 // ablation), so one-hop children and Y-dimension neighbors win ties.
 func (f *pathFinder) bfs(start int, inTree []bool, avail bitset) (topology.NodeID, []topology.LinkID) {
 	t := f.topo
+	if f.direct && f.members == nil {
+		// Switchless fabric, full membership: every out-neighbor is an
+		// end node, and end nodes already in the tree cannot relay, so
+		// the search begins and ends at start's own links. Same scan
+		// order, same counters, same result as the general loop below —
+		// minus the visited stamps and queue it cannot need. Duplicate
+		// destinations (parallel links) need no visited check either: a
+		// free link to a new node returns immediately, so a repeated
+		// destination can only be one already in the tree.
+		links := t.Out(start)
+		for li := 0; li < len(links); li++ {
+			id := links[li]
+			if f.reverse {
+				id = links[len(links)-1-li]
+			}
+			f.linksScanned++
+			if f.touched != nil {
+				f.touched.set(int(id))
+			}
+			if !avail.test(int(id)) {
+				f.linkConflicts++
+				continue
+			}
+			if w := t.Link(id).Dst; !inTree[w] {
+				return topology.NodeID(w), []topology.LinkID{id}
+			}
+		}
+		return -1, nil
+	}
 	f.epoch++
 	if f.epoch == 0 { // stamp wraparound: invalidate everything once
 		for i := range f.visitedAt {

@@ -18,6 +18,7 @@ func init() {
 			opts := DefaultOptions(topo)
 			opts.Observer = aopts.Observer
 			opts.Workers = aopts.Workers
+			opts.Shards = aopts.Shards
 			return Build(topo, elems, opts)
 		},
 		Supports: func(topo *topology.Topology) bool { return topo.Nodes() >= 2 },

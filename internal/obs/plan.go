@@ -54,6 +54,13 @@ const (
 	// load cost into decode vs validate.
 	PhaseValidate
 
+	// PhaseShardMerge is the commit-replay merge of sharded tree growth:
+	// replaying the per-shard speculative turns against the live link pool
+	// in global turn order. It nests inside tree-growth, one run per
+	// round, so its share of the growth wall measures how much of the
+	// sharded build is serial merge work vs parallel search.
+	PhaseShardMerge
+
 	// NumPlanPhases bounds the phase ids; new phases append before it so
 	// recorded profiles keep their meaning.
 	NumPlanPhases
@@ -74,6 +81,8 @@ func (p PlanPhase) String() string {
 		return "cache-lookup"
 	case PhaseValidate:
 		return "validate"
+	case PhaseShardMerge:
+		return "shard-merge"
 	}
 	return "unknown"
 }
@@ -137,6 +146,13 @@ type PlanCounters struct {
 	// full ValidateStrict pass (validate).
 	SummaryValidations int64
 	FullValidations    int64
+
+	// ShardTurns/ShardReplays count sharded-growth merge turns and the
+	// subset whose speculative search read a link that earlier turns had
+	// claimed differently, forcing a replay against the live pool
+	// (shard-merge). The replay ratio is the sharding overhead.
+	ShardTurns   int64
+	ShardReplays int64
 }
 
 // Add accumulates other into c.
@@ -158,6 +174,8 @@ func (c *PlanCounters) Add(other PlanCounters) {
 	c.CacheBytes += other.CacheBytes
 	c.SummaryValidations += other.SummaryValidations
 	c.FullValidations += other.FullValidations
+	c.ShardTurns += other.ShardTurns
+	c.ShardReplays += other.ShardReplays
 }
 
 // PlanObserver receives planner lifecycle callbacks. All methods must be
@@ -403,6 +421,8 @@ func (p *PlanProfile) Report() *PlanReport {
 
 			SummaryValidations: ph.Counters.SummaryValidations,
 			FullValidations:    ph.Counters.FullValidations,
+			ShardTurns:         ph.Counters.ShardTurns,
+			ShardReplays:       ph.Counters.ShardReplays,
 		})
 	}
 	return rep
@@ -413,17 +433,18 @@ func (p *PlanProfile) Report() *PlanReport {
 // is the format of the committed results/plan-profile-*.csv artifacts.
 func (p *PlanProfile) WriteCSV(w io.Writer) error {
 	rep := p.Report()
-	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,dep_edges,path_hops,table_entries,cache_hits,cache_misses,cache_bytes,summary_validations,full_validations"); err != nil {
+	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,dep_edges,path_hops,table_entries,cache_hits,cache_misses,cache_bytes,summary_validations,full_validations,shard_turns,shard_replays"); err != nil {
 		return err
 	}
 	for _, ph := range rep.Phases {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			ph.Phase, ph.Runs, ph.WallNanos, ph.Share,
 			ph.Steps, ph.TreesGrown, ph.NodesAttached,
 			ph.Searches, ph.SearchMisses, ph.LinksScanned, ph.LinkConflicts,
 			ph.LinksAllocated, ph.Transfers, ph.DepEdges, ph.PathHops, ph.TableEntries,
 			ph.CacheHits, ph.CacheMisses, ph.CacheBytes,
-			ph.SummaryValidations, ph.FullValidations); err != nil {
+			ph.SummaryValidations, ph.FullValidations,
+			ph.ShardTurns, ph.ShardReplays); err != nil {
 			return err
 		}
 	}
@@ -506,6 +527,12 @@ func (p *Progress) pipeline() string {
 
 // PhaseStart implements PlanObserver.
 func (p *Progress) PhaseStart(ph PlanPhase) {
+	if ph == PhaseShardMerge {
+		// Per-round micro-phase nested inside tree-growth: a start/done
+		// pair per round would flood the non-interactive log. The profile
+		// keeps its numbers; the progress stream skips it.
+		return
+	}
 	t := p.clock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -519,6 +546,9 @@ func (p *Progress) PhaseStart(ph PlanPhase) {
 
 // PhaseEnd implements PlanObserver.
 func (p *Progress) PhaseEnd(ph PlanPhase, c PlanCounters) {
+	if ph == PhaseShardMerge {
+		return
+	}
 	t := p.clock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -549,17 +579,27 @@ func (p *Progress) detail(ph PlanPhase, c PlanCounters) string {
 			mode = "summary"
 		}
 		return fmt.Sprintf(" (%d transfers, %s)", c.Transfers, mode)
+	case PhaseShardMerge:
+		return fmt.Sprintf(" (%d turns, %d replays)", c.ShardTurns, c.ShardReplays)
 	}
 	return ""
 }
 
 // PlanProgress implements PlanObserver: throttled percent-done with an
-// ETA extrapolated from the phase's progress rate so far.
+// ETA extrapolated from the phase's progress rate so far. Degenerate
+// samples stay well-formed: total == 0 reports 0%, done past total is
+// clamped to 100% with no ETA, and a completing sample (done >= total)
+// bypasses the throttle so the final 100% line always lands before the
+// phase's PhaseEnd.
 func (p *Progress) PlanProgress(ph PlanPhase, done, total int64) {
+	if ph == PhaseShardMerge {
+		return
+	}
 	t := p.clock()
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.lastEmit != 0 && time.Duration(t-p.lastEmit) < p.interval() {
+	final := total > 0 && done >= total
+	if !final && p.lastEmit != 0 && time.Duration(t-p.lastEmit) < p.interval() {
 		return
 	}
 	p.lastEmit = t
@@ -570,6 +610,9 @@ func (p *Progress) PlanProgress(ph PlanPhase, done, total int64) {
 	pct := 0.0
 	if total > 0 {
 		pct = 100 * float64(done) / float64(total)
+		if pct > 100 {
+			pct = 100
+		}
 	}
 	eta := ""
 	if done > 0 && total > done && elapsed > 0 {

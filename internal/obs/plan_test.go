@@ -179,10 +179,59 @@ func TestProgressNonInteractiveThrottles(t *testing.T) {
 	for i := int64(1); i <= 100; i++ {
 		p.PlanProgress(PhaseTreeGrowth, i, 100)
 	}
-	// One start line plus exactly one sample (the first; the rest fall
-	// inside MinInterval).
-	if got := strings.Count(buf.String(), "\n"); got != 2 {
+	// One start line plus exactly two samples: the first, and the final
+	// 100% sample, which bypasses the throttle so a phase never ends
+	// without its completion figure on record. Everything in between
+	// falls inside MinInterval.
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
 		t.Fatalf("throttling failed: %d lines\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "100/100 (100.0%)") {
+		t.Fatalf("missing final 100%% sample:\n%s", buf.String())
+	}
+}
+
+func TestProgressDegenerateSamples(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, false)
+	clk := &fakeClock{t: time.Unix(1000, 0), step: time.Second}
+	p.now = clk.now
+
+	p.PhaseStart(PhaseTreeGrowth)
+	p.PlanProgress(PhaseTreeGrowth, 0, 0)  // unknown total
+	p.PlanProgress(PhaseTreeGrowth, 7, 0)  // done with no total
+	p.PlanProgress(PhaseTreeGrowth, 12, 8) // done past total
+	out := buf.String()
+	for _, bad := range []string{"+Inf", "NaN", "Inf"} {
+		if strings.Contains(out, bad) {
+			t.Fatalf("degenerate sample printed %s:\n%s", bad, out)
+		}
+	}
+	if strings.Contains(out, "0/0 (") && !strings.Contains(out, "0/0 (0.0%)") {
+		t.Fatalf("total=0 should report 0%%:\n%s", out)
+	}
+	if !strings.Contains(out, "12/8 (100.0%)") {
+		t.Fatalf("done past total should clamp to 100%%:\n%s", out)
+	}
+	if strings.Contains(out, "12/8 (100.0%) eta") || strings.Contains(out, "eta -") {
+		t.Fatalf("degenerate sample printed an ETA:\n%s", out)
+	}
+}
+
+func TestProgressIgnoresShardMerge(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, false)
+	clk := &fakeClock{t: time.Unix(1000, 0), step: time.Second}
+	p.now = clk.now
+
+	// shard-merge runs once per growth round; a start/done pair each
+	// time would flood a non-interactive log.
+	for i := 0; i < 100; i++ {
+		p.PhaseStart(PhaseShardMerge)
+		p.PhaseEnd(PhaseShardMerge, PlanCounters{ShardTurns: 10, ShardReplays: 1})
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("shard-merge phases should not print:\n%s", buf.String())
 	}
 }
 

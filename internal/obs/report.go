@@ -135,6 +135,9 @@ type PhaseReport struct {
 
 	SummaryValidations int64 `json:"summary_validations,omitempty"`
 	FullValidations    int64 `json:"full_validations,omitempty"`
+
+	ShardTurns   int64 `json:"shard_turns,omitempty"`
+	ShardReplays int64 `json:"shard_replays,omitempty"`
 }
 
 // PlanCacheReport records one run's traffic against the content-addressed

@@ -1,0 +1,69 @@
+package plancache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// plant creates a fake entry of n bytes and stamps its mtime.
+func plant(t *testing.T, dir, name string, n int, at time.Time) {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, make([]byte, n), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(p, at, at); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func names(t *testing.T, dir string) []string {
+	t.Helper()
+	got, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		got[i] = filepath.Base(got[i])
+	}
+	return got
+}
+
+// TestEvictEqualMtimeDeterministic pins the tie-break: entries with
+// identical mtimes (coarse filesystem timestamps, parallel sweeps) are
+// evicted in name order, not in ReadDir's incidental order.
+func TestEvictEqualMtimeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	at := time.Now().Add(-time.Hour)
+	for _, n := range []string{"c.plan", "a.plan", "b.plan"} {
+		plant(t, dir, n, 100, at)
+	}
+	c := &Cache{dir: dir, maxBytes: 250, inflight: make(map[string]int)}
+	c.evict("zz")
+	left := names(t, dir)
+	if len(left) != 2 || left[0] != "b.plan" || left[1] != "c.plan" {
+		t.Fatalf("entries left = %v, want the name-ordered survivors [b.plan c.plan]", left)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+// TestEvictSparesInflight pins the concurrent-store guarantee: a key
+// with a Put still in flight is never evicted by another store's cap
+// enforcement, even when sparing it leaves the directory over the cap.
+func TestEvictSparesInflight(t *testing.T) {
+	dir := t.TempDir()
+	at := time.Now().Add(-time.Hour)
+	plant(t, dir, "a.plan", 100, at)
+	plant(t, dir, "b.plan", 100, at.Add(time.Minute))
+	plant(t, dir, "c.plan", 100, at.Add(2*time.Minute))
+	c := &Cache{dir: dir, maxBytes: 100, inflight: map[string]int{"a": 1}}
+	c.evict("c")
+	left := names(t, dir)
+	if len(left) != 2 || left[0] != "a.plan" || left[1] != "c.plan" {
+		t.Fatalf("entries left = %v, want in-flight a.plan and just-written c.plan", left)
+	}
+}

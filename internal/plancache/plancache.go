@@ -26,7 +26,6 @@
 package plancache
 
 import (
-	"bufio"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -81,8 +80,14 @@ type Cache struct {
 	// stays visible.
 	Log func(format string, args ...any)
 
-	mu    sync.Mutex
-	stats Stats
+	mu       sync.Mutex
+	stats    Stats
+	inflight map[string]int // keys with a Put in progress, spared from eviction
+
+	// evictMu serializes eviction scans: concurrent Puts racing through
+	// evict would each total a directory the other is shrinking and
+	// delete more than the cap requires.
+	evictMu sync.Mutex
 }
 
 // Open creates dir if needed and returns the cache over it. maxBytes <= 0
@@ -95,7 +100,7 @@ func Open(dir string, maxBytes int64) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("plancache: %w", err)
 	}
-	return &Cache{dir: dir, maxBytes: maxBytes}, nil
+	return &Cache{dir: dir, maxBytes: maxBytes, inflight: make(map[string]int)}, nil
 }
 
 // Dir returns the cache directory.
@@ -122,6 +127,19 @@ func Key(topo *topology.Topology, algorithm string, elems, chunks int) string {
 
 func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, key+".plan")
+}
+
+// EntryPath returns the on-disk path of key's entry and whether the
+// entry currently exists. Entries are content-addressed, written
+// atomically, and hold the exporter's exact ExportBinary bytes — so a
+// caller that just built or loaded the keyed schedule may stream-copy
+// the file in place of re-encoding the identical IR.
+func (c *Cache) EntryPath(key string) (string, bool) {
+	p := c.path(key)
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
 }
 
 func (c *Cache) logf(format string, args ...any) {
@@ -169,9 +187,14 @@ func (c *Cache) GetObserved(key string, topo *topology.Topology, o obs.PlanObser
 		c.count(func(s *Stats) { s.Misses++ })
 		return nil, 0, false
 	}
-	// A hit is a use: refresh the mtime so LRU eviction spares it.
+	// A hit is a use: refresh the mtime so LRU eviction spares it. A
+	// failed refresh (read-only cache dir) must not stay silent — it
+	// quietly degrades LRU into evict-hottest, since the entries being
+	// hit keep their stale mtimes.
 	now := time.Now()
-	_ = os.Chtimes(c.path(key), now, now)
+	if err := os.Chtimes(c.path(key), now, now); err != nil {
+		c.logf("plancache: cannot refresh mtime of %s: %v (LRU may evict hot entries)", key, err)
+	}
 	c.count(func(st *Stats) {
 		st.Hits++
 		st.BytesRead += size
@@ -184,39 +207,36 @@ func (c *Cache) GetObserved(key string, topo *topology.Topology, o obs.PlanObser
 	return s, size, true
 }
 
-// countingWriter tracks bytes handed to the underlying writer.
-type countingWriter struct {
-	w io.Writer
-	n int64
-}
-
-func (cw *countingWriter) Write(p []byte) (int, error) {
-	n, err := cw.w.Write(p)
-	cw.n += int64(n)
-	return n, err
-}
-
 // Put stores the schedule under key, atomically (temp file + rename),
 // then enforces the size cap; it returns the IR bytes written. The IR
-// streams straight to the temp file through a buffered writer. Failures
-// are logged and reported; the caller already holds the built schedule,
-// so nothing is lost.
+// streams straight into the temp file with the content hash computed as
+// the bytes go by (ExportBinary's seekable path) — one pass over the
+// entry instead of encode, hash, write. Failures are logged and
+// reported; the caller already holds the built schedule, so nothing is
+// lost.
 func (c *Cache) Put(key string, s *collective.Schedule) (int64, error) {
+	c.mu.Lock()
+	c.inflight[key]++
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.inflight[key]--; c.inflight[key] == 0 {
+			delete(c.inflight, key)
+		}
+		c.mu.Unlock()
+	}()
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
 		c.logf("plancache: not storing %s: %v", key, err)
 		return 0, err
 	}
-	cw := &countingWriter{w: tmp}
-	bw := bufio.NewWriterSize(cw, 1<<18)
-	err = collective.ExportBinary(bw, s)
+	err = collective.ExportBinary(tmp, s)
+	var n int64
 	if err == nil {
-		err = bw.Flush()
+		n, err = tmp.Seek(0, io.SeekEnd)
 	}
-	if err == nil {
-		err = tmp.Close()
-	} else {
-		tmp.Close()
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
 	}
 	if err == nil {
 		err = os.Rename(tmp.Name(), c.path(key))
@@ -226,17 +246,29 @@ func (c *Cache) Put(key string, s *collective.Schedule) (int64, error) {
 		c.logf("plancache: not storing %s: %v", key, err)
 		return 0, err
 	}
-	c.count(func(st *Stats) { st.BytesWritten += cw.n })
+	c.count(func(st *Stats) { st.BytesWritten += n })
 	c.evict(key)
-	return cw.n, nil
+	return n, nil
 }
 
 // evict deletes least-recently-used entries until the directory fits the
-// cap, never touching the just-written key.
+// cap. It never touches the just-written key, nor any key with a Put
+// still in flight — two concurrent Puts under a tight cap must not evict
+// each other's fresh entries before their writers return. Scans are
+// serialized, and the LRU order breaks equal-mtime ties by name, so
+// eviction order is deterministic on filesystems with coarse timestamps.
 func (c *Cache) evict(keep string) {
 	if c.maxBytes <= 0 {
 		return
 	}
+	c.evictMu.Lock()
+	defer c.evictMu.Unlock()
+	spared := map[string]bool{keep + ".plan": true}
+	c.mu.Lock()
+	for k := range c.inflight {
+		spared[k+".plan"] = true
+	}
+	c.mu.Unlock()
 	type entry struct {
 		name  string
 		size  int64
@@ -262,12 +294,17 @@ func (c *Cache) evict(keep string) {
 	if total <= c.maxBytes {
 		return
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime < entries[j].mtime })
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].mtime != entries[j].mtime {
+			return entries[i].mtime < entries[j].mtime
+		}
+		return entries[i].name < entries[j].name
+	})
 	for _, e := range entries {
 		if total <= c.maxBytes {
 			return
 		}
-		if e.name == keep+".plan" {
+		if spared[e.name] {
 			continue
 		}
 		if os.Remove(filepath.Join(c.dir, e.name)) == nil {

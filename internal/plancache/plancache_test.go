@@ -181,3 +181,37 @@ func TestEviction(t *testing.T) {
 		t.Fatalf("evictions = %d, want 1", st.Evictions)
 	}
 }
+
+// TestOwnWriteSurvivesTinyCap: a cap smaller than a single entry never
+// deletes the entry the store just wrote — the caller is about to load
+// it — though the next store reclaims the space.
+func TestOwnWriteSurvivesTinyCap(t *testing.T) {
+	dir := t.TempDir()
+	c, err := plancache.Open(dir, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.Torus(4, 4, cfg())
+	s := build(t, topo, 1024)
+	k1 := plancache.Key(topo, "multitree", 1024, 0)
+	k2 := plancache.Key(topo, "multitree", 1024, 1)
+	if _, err := c.Put(k1, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(k1, topo); !ok {
+		t.Fatal("store evicted its own entry under a tiny cap")
+	}
+	if _, err := c.Put(k2, s); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get(k2, topo); !ok {
+		t.Fatal("second store evicted its own entry")
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "*.plan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 1 {
+		t.Fatalf("%d entries left, want only the latest", len(left))
+	}
+}

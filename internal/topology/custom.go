@@ -70,6 +70,18 @@ func (c *CustomBuilder) Build() (*Topology, error) {
 	return t, nil
 }
 
+// BuildUnchecked finalizes the topology without the all-pairs
+// reachability validation. Deliberately-disconnected fabrics are useful
+// for fault experiments and for testing how planners report partitions;
+// anything routed across a partition simply gets no path, and planners
+// are expected to diagnose that themselves.
+func (c *CustomBuilder) BuildUnchecked() *Topology {
+	c.frozen = true
+	t := c.b.t
+	t.route = bfsRoute
+	return t
+}
+
 // bfsRoute finds a shortest hop-count path, deterministically preferring
 // lower link ids. In a direct network every node has an integrated router
 // and forwards traffic; in a switch-based network only switches forward,

@@ -16,15 +16,17 @@
 # PROFILE_DIR=dir additionally writes the cold build's planner phase
 # profile to dir/plan-profile-<topo>.csv.
 #
-# Workers default to 4; override with PLAN_WORKERS. The schedule is
-# byte-identical at any worker count, so the sweep is reproducible
-# modulo wall time.
+# Workers default to 4 (override with PLAN_WORKERS); the cold build
+# also shards tree growth, 4 shards by default (override with
+# PLAN_SHARDS). The schedule is byte-identical at any worker or shard
+# count, so the sweep is reproducible modulo wall time.
 set -eu
 
 out=${1:-results/plan-scale-sweep.csv}
 [ $# -gt 0 ] && shift
 topos=${*:-"mesh-16x16 mesh-32x32 mesh-48x48 mesh-64x64"}
 workers=${PLAN_WORKERS:-4}
+shards=${PLAN_SHARDS:-4}
 
 bin=$(mktemp -t schedule-dump.XXXXXX)
 go build -o "$bin" ./cmd/schedule-dump
@@ -48,7 +50,7 @@ for topo in $topos; do
     t0=$(now)
     # shellcheck disable=SC2086
     "$bin" -topo "$topo" -algo multitree -size 1MiB -plan-workers "$workers" \
-        -plan-cache "$cache" -progress off $profile \
+        -plan-shards "$shards" -plan-cache "$cache" -progress off $profile \
         -export "$cold" > "$cache/cold.out"
     t1=$(now)
     "$bin" -topo "$topo" -algo multitree -size 1MiB \
@@ -66,6 +68,10 @@ for topo in $topos; do
         -v c0="$t0" -v c1="$t1" -v w1="$t2" -v wl="$warm_load" -v v="$validation" \
         'BEGIN { printf "%s,%d,%d,%d,%.2f,%.2f,%.2f,%s\n", t, n, x, b, c1-c0, w1-c1, wl, v }' >> "$out"
     rm -f "$cold" "$warm"
+    # Flush the row's dirty pages (cache entry + exports) before the next
+    # topology's timer starts: writeback from one row otherwise competes
+    # with the next row's build and skews its cold wall.
+    sync
     echo "plan-sweep: $topo done" >&2
 done
 echo "plan-sweep: wrote $out" >&2
