@@ -788,6 +788,80 @@ func BenchmarkPlanCacheWarmLoad(b *testing.B) {
 	b.ReportMetric(float64(bytesRead), "irBytes")
 }
 
+// BenchmarkWarmLoadMesh32x32Parallel measures the v3 warm path at the
+// 1024-node scale: a stored mesh-32x32 plan (~2.1M transfers) decoded
+// section-by-section with every available worker. Against
+// BenchmarkPlanCacheWarmLoad's sequential 16x16 load this is the
+// headline sub-second-warm-plan number; on multi-core hosts the
+// sectioned decode splits the varint and hashing work across cores,
+// and on single-core ones it bounds the regression of the fan-out
+// bookkeeping.
+func BenchmarkWarmLoadMesh32x32Parallel(b *testing.B) {
+	topo, err := topospec.Parse("mesh-32x32")
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := (1 << 20) / 4
+	s, err := core.Build(topo, elems, core.DefaultOptions(topo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache, err := plancache.Open(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := plancache.Key(topo, core.Algorithm, elems, 0)
+	if _, err := cache.Put(key, s); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var bytesRead int64
+	for i := 0; i < b.N; i++ {
+		got, n, ok := cache.GetOpts(key, topo, plancache.GetOptions{Workers: runtime.GOMAXPROCS(0)})
+		if !ok {
+			b.Fatal("warm cache missed")
+		}
+		if got.Steps != s.Steps {
+			b.Fatal("cached schedule differs")
+		}
+		bytesRead = n
+	}
+	b.ReportMetric(float64(bytesRead), "irBytes")
+}
+
+// BenchmarkMemCacheHit measures the decoded-plan memory tier: the cost
+// of serving an already-materialized mesh-16x16 schedule. This is the
+// floor every warm load above it (disk decode, re-plan) is compared
+// against — a hit is a map lookup and an LRU splice, no I/O, no varint,
+// no hashing.
+func BenchmarkMemCacheHit(b *testing.B) {
+	topo, err := topospec.Parse("mesh-16x16")
+	if err != nil {
+		b.Fatal(err)
+	}
+	elems := (1 << 20) / 4
+	s, err := core.Build(topo, elems, core.DefaultOptions(topo))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := plancache.NewMemCache(s.MemBytes() * 2)
+	key := plancache.Key(topo, core.Algorithm, elems, 0)
+	m.Put(key, s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, ok := m.Get(key)
+		if !ok {
+			b.Fatal("mem cache missed")
+		}
+		if got != s {
+			b.Fatal("mem cache returned a different schedule")
+		}
+	}
+	b.ReportMetric(float64(s.MemBytes()), "memBytes")
+}
+
 // BenchmarkLowerMesh32x32 measures schedule lowering alone at the
 // 1024-node scale — the ~2.1M-transfer Mesh where lowering, not tree
 // growth, dominated cold builds before the parallel arena-based rewrite.

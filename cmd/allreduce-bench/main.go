@@ -148,7 +148,8 @@ func main() {
 		planCSV       = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
 		planCache     = flag.String("plan-cache", "", "content-addressed plan cache directory: schedules load from it when present and are stored after a fresh build")
 		planCacheMax  = flag.String("plan-cache-max-bytes", "", "evict least-recently-used plan-cache entries above this size (e.g. 256MiB); empty or 0 leaves the cache uncapped")
-		planWorkers   = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		planMemMB     = flag.Int64("plan-mem-cache-mb", 0, "in-process decoded-plan cache cap in MiB: repeated builds of one plan (sweeps, resilience re-plans) skip disk and decode; <= 0 off")
+		planWorkers   = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner and section-decode workers for binary-IR plan loads; the schedule built is identical for every value")
 		planShards    = flag.Int("plan-shards", 1, "sharded tree growth for the MultiTree planner (geometric root partition); the schedule built is byte-identical for every value")
 		verifyPlan    = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 		progressMode  = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
@@ -197,7 +198,7 @@ func main() {
 		ProgressMode: *progressMode,
 		MetricsAddr:  *metricsAddr, MetricsLinger: *metricsLinger,
 		CPUProfile: *cpuProfile, MemProfile: *memProfile,
-		PlanCacheDir: *planCache, PlanCacheMaxBytes: cacheMax,
+		PlanCacheDir: *planCache, PlanCacheMaxBytes: cacheMax, PlanMemCacheMB: *planMemMB,
 		PlanWorkers: *planWorkers, PlanShards: *planShards, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {

@@ -37,9 +37,14 @@
 // grows them in fabric shards (the schedule is byte-identical for every
 // count of either), and -plan-cache DIR makes -export load a
 // previously built schedule from the content-addressed cache instead of
-// re-planning it.
+// re-planning it. Warm loads scale too: -plan-workers also fans the
+// binary-IR section decode across cores, -plan-mem-cache-mb N keeps
+// decoded plans in process so repeats skip disk entirely, and
+// -warm-loads N replays the load through the cache tiers to measure it.
 //
 //	schedule-dump -topo mesh-32x32 -algo multitree -plan-cache /tmp/plans -export mt.json
+//	schedule-dump -topo mesh-64x64 -algo multitree -plan-cache /tmp/plans \
+//	    -plan-workers 8 -plan-mem-cache-mb 4096 -warm-loads 2 -export mt.plan
 package main
 
 import (
@@ -90,7 +95,9 @@ func main() {
 		planCSV      = flag.String("planprofile", "", "write the planner phase-profile CSV to this file")
 		progressMode = flag.String("progress", "auto", "live planner progress on stderr: auto (terminals only), on, off")
 		planCache    = flag.String("plan-cache", "", "content-addressed plan cache directory for -export: schedules load from it when present and are stored after a fresh build")
-		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner; the schedule built is identical for every value")
+		planMemMB    = flag.Int64("plan-mem-cache-mb", 0, "in-process decoded-plan cache cap in MiB: repeated loads of one plan skip disk and decode entirely; <= 0 off")
+		warmLoads    = flag.Int("warm-loads", 0, "after -export, re-load the plan this many more times through the cache tiers (exercises warm serving; counts land in the run report)")
+		planWorkers  = flag.Int("plan-workers", 1, "parallel tree-growth workers for the MultiTree planner and section-decode workers for binary-IR plan loads; the schedule built is identical for every value")
 		planShards   = flag.Int("plan-shards", 1, "sharded tree growth for the MultiTree planner (geometric root partition); the schedule built is byte-identical for every value")
 		verifyPlan   = flag.Bool("verify-plan", false, "re-run the full schedule validation pass on plan-cache hits instead of trusting the stored validation summary")
 	)
@@ -110,14 +117,15 @@ func main() {
 		ReportPath: *reportPath, PlanCSVPath: *planCSV,
 		ProgressMode: *progressMode,
 		CPUProfile:   *cpuProfile, MemProfile: *memProfile,
-		PlanCacheDir: *planCache, PlanWorkers: *planWorkers, PlanShards: *planShards, VerifyPlan: *verifyPlan,
+		PlanCacheDir: *planCache, PlanMemCacheMB: *planMemMB,
+		PlanWorkers: *planWorkers, PlanShards: *planShards, VerifyPlan: *verifyPlan,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	if *export != "" {
-		exportSchedule(topo, *algo, *size, *export, *faultSpec, run)
+		exportSchedule(topo, *algo, *size, *export, *faultSpec, *warmLoads, run)
 		if err := run.Finish(); err != nil {
 			log.Fatal(err)
 		}
@@ -205,7 +213,7 @@ func main() {
 // degrades the topology first, so the exported schedule is the re-plan
 // that routes around the failed hardware; a spec that disconnects the
 // fabric is a fatal error.
-func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string, run *cliutil.Run) {
+func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string, warmLoads int, run *cliutil.Run) {
 	if faultSpec != "" {
 		plan, err := faults.ParseSpec(faultSpec)
 		if err != nil {
@@ -266,9 +274,20 @@ func exportSchedule(topo *topology.Topology, algo, size, path, faultSpec string,
 			return encode(w, s)
 		})
 	}
+	// -warm-loads replays the build through the cache tiers: the first
+	// repeat decodes the on-disk entry (or hits the memory tier when
+	// -plan-mem-cache-mb is set), later repeats should be pure memory
+	// hits. The counters land in the run report and /metrics, making the
+	// warm-serving profile of one plan measurable from the CLI.
+	for i := 0; i < warmLoads; i++ {
+		if _, err := algorithms.Build(topo, spec.Name, elems, run.BuildOptions()); err != nil {
+			log.Fatal(err)
+		}
+	}
 	// The machine-grepable export summary: entity counts plus how the
-	// plan was validated ("fresh build", or a cache hit accepted on its
-	// stored summary vs. the full re-validation pass).
+	// plan was validated ("fresh build", "memory" for a decoded-plan
+	// cache hit, or a disk hit accepted on its stored summary vs. the
+	// full re-validation pass).
 	var deps int64
 	for i := range s.Transfers {
 		deps += int64(len(s.Transfers[i].Deps))

@@ -58,6 +58,13 @@ type Options struct {
 	// key; Workers and Observer do not.
 	Cache *plancache.Cache
 
+	// MemCache, when non-nil, is the in-process decoded-plan tier probed
+	// before Cache: a hit returns the already-materialized schedule and
+	// skips the disk read, decode, and verification entirely. Both cache
+	// tiers share one content address. Schedules served from it are
+	// shared across callers and must be treated as read-only.
+	MemCache *plancache.MemCache
+
 	// Observer receives planner lifecycle callbacks (phase wall time,
 	// counters, progress) from algorithms that support them; nil keeps
 	// construction observation-free. Algorithms whose construction is
@@ -202,17 +209,19 @@ func Supporting(topo *topology.Topology) []Spec {
 }
 
 // Build resolves name (MsgSuffix variants included) and constructs its
-// schedule. With opts.Cache set, the cache is probed first — keyed by the
-// base algorithm name, so "multitree" and "multitree-msg" share one entry
-// (they build identical schedules; only the simulator's flow control
-// differs) — and a fresh build is stored back on a miss. Cache traffic is
+// schedule. With a cache tier set, the tiers are probed in cost order —
+// MemCache (already decoded) first, then Cache (on-disk IR, decoded with
+// opts.Workers-way fan-out) — keyed by the base algorithm name, so
+// "multitree" and "multitree-msg" share one entry (they build identical
+// schedules; only the simulator's flow control differs). A miss builds
+// fresh and stores back into every configured tier. Cache traffic is
 // reported to opts.Observer under obs.PhaseCacheLookup.
 func Build(topo *topology.Topology, name string, elems int, opts Options) (*collective.Schedule, error) {
 	spec, _, err := Resolve(name)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Cache == nil {
+	if opts.Cache == nil && opts.MemCache == nil {
 		return spec.Build(topo, elems, opts)
 	}
 	key := plancache.Key(topo, spec.Name, elems, opts.Chunks)
@@ -220,25 +229,46 @@ func Build(topo *topology.Topology, name string, elems int, opts Options) (*coll
 	if o != nil {
 		o.PhaseStart(obs.PhaseCacheLookup)
 	}
-	if s, n, ok := opts.Cache.GetObserved(key, topo, o); ok {
-		if o != nil {
-			o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheHits: 1, CacheBytes: n})
+	var memMiss int64
+	if opts.MemCache != nil {
+		if s, ok := opts.MemCache.Get(key); ok {
+			if o != nil {
+				o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheHits: 1, MemCacheHits: 1})
+			}
+			return s, nil
 		}
-		return s, nil
+		memMiss = 1
+	}
+	if opts.Cache != nil {
+		got, n, ok := opts.Cache.GetOpts(key, topo, plancache.GetOptions{
+			Observer: o,
+			Workers:  opts.Workers,
+		})
+		if ok {
+			if o != nil {
+				o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheHits: 1, CacheBytes: n, MemCacheMisses: memMiss})
+			}
+			opts.MemCache.Put(key, got) // nil-safe: promote disk hits to the memory tier
+			return got, nil
+		}
 	}
 	if o != nil {
-		o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheMisses: 1})
+		o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheMisses: 1, MemCacheMisses: memMiss})
 	}
 	s, err := spec.Build(topo, elems, opts)
 	if err != nil {
 		return nil, err
 	}
 	// Best-effort store: a failed Put is logged by the cache and costs a
-	// rebuild next run, never this one.
+	// rebuild next run, never this one. Fresh builds enter both tiers.
 	if o != nil {
 		o.PhaseStart(obs.PhaseCacheLookup)
 	}
-	n, _ := opts.Cache.Put(key, s)
+	var n int64
+	if opts.Cache != nil {
+		n, _ = opts.Cache.Put(key, s)
+	}
+	opts.MemCache.Put(key, s)
 	if o != nil {
 		o.PhaseEnd(obs.PhaseCacheLookup, obs.PlanCounters{CacheBytes: n})
 	}

@@ -150,7 +150,8 @@ type Config struct {
 
 	PlanCacheDir      string // -plan-cache: content-addressed plan cache directory
 	PlanCacheMaxBytes int64  // -plan-cache-max-bytes: LRU size cap, <= 0 uncapped
-	PlanWorkers       int    // -plan-workers: parallel tree growth + lowering, <= 1 sequential
+	PlanMemCacheMB    int64  // -plan-mem-cache-mb: in-process decoded-plan LRU cap, <= 0 off
+	PlanWorkers       int    // -plan-workers: parallel tree growth + lowering + IR decode, <= 1 sequential
 	PlanShards        int    // -plan-shards: sharded tree growth (geometric root partition), <= 1 off
 	VerifyPlan        bool   // -verify-plan: full re-validation of cache hits
 }
@@ -166,6 +167,7 @@ type Run struct {
 	Progress *obs.Progress
 	Prom     *obs.PromHandler
 	Cache    *plancache.Cache
+	MemCache *plancache.MemCache
 
 	cfg          Config
 	cacheKey     string
@@ -203,6 +205,10 @@ func StartRun(cfg Config) (*Run, error) {
 		if cfg.VerifyPlan {
 			r.Option("verify_plan", "true")
 		}
+	}
+	if cfg.PlanMemCacheMB > 0 {
+		r.MemCache = plancache.NewMemCache(cfg.PlanMemCacheMB << 20)
+		r.Option("plan_mem_cache_mb", fmt.Sprintf("%d", cfg.PlanMemCacheMB))
 	}
 	if cfg.PlanWorkers > 1 {
 		r.Option("plan_workers", fmt.Sprintf("%d", cfg.PlanWorkers))
@@ -251,15 +257,20 @@ func (r *Run) BuildOptions() algorithms.Options {
 		Workers:  r.cfg.PlanWorkers,
 		Shards:   r.cfg.PlanShards,
 		Cache:    r.Cache,
+		MemCache: r.MemCache,
 		Observer: r.PlanObserver(),
 	}
 }
 
 // ValidationMode names how a single-schedule run obtained its plan:
-// "summary" or "full" when a cache hit was validated that way, "fresh
-// build" when no hit happened (or no cache is attached). Meant for
-// one-schedule tools' stdout summaries.
+// "memory" when the decoded-plan cache served it (the plan was verified
+// when it entered the process), "summary" or "full" when a disk hit was
+// validated that way, "fresh build" when no hit happened (or no cache
+// is attached). Meant for one-schedule tools' stdout summaries.
 func (r *Run) ValidationMode() string {
+	if r.MemCache != nil && r.MemCache.Stats().Hits > 0 {
+		return "memory"
+	}
 	if r.Cache != nil {
 		st := r.Cache.Stats()
 		switch {
@@ -369,18 +380,26 @@ func (r *Run) Finish() error {
 	if r.Profile != nil {
 		r.Report.Planner = r.Profile.Report()
 	}
-	if r.Cache != nil {
-		st := r.Cache.Stats()
-		pc := obs.PlanCacheReport{
-			Dir:              r.Cache.Dir(),
-			Key:              r.cacheKey,
-			Hits:             st.Hits,
-			Misses:           st.Misses,
-			BytesRead:        st.BytesRead,
-			BytesWritten:     st.BytesWritten,
-			Evictions:        st.Evictions,
-			SummaryValidated: st.SummaryLoads,
-			FullValidated:    st.FullLoads,
+	if r.Cache != nil || r.MemCache != nil {
+		pc := obs.PlanCacheReport{Key: r.cacheKey}
+		if r.Cache != nil {
+			st := r.Cache.Stats()
+			pc.Dir = r.Cache.Dir()
+			pc.Hits = st.Hits
+			pc.Misses = st.Misses
+			pc.BytesRead = st.BytesRead
+			pc.BytesWritten = st.BytesWritten
+			pc.Evictions = st.Evictions
+			pc.SummaryValidated = st.SummaryLoads
+			pc.FullValidated = st.FullLoads
+		}
+		if r.MemCache != nil {
+			mst := r.MemCache.Stats()
+			pc.MemHits = mst.Hits
+			pc.MemMisses = mst.Misses
+			pc.MemEvictions = mst.Evictions
+			pc.MemBytes = mst.Bytes
+			pc.MemEntries = mst.Entries
 		}
 		r.Report.PlanCache = &pc
 		if r.Prom != nil {

@@ -26,29 +26,41 @@ package collective
 // arbitrary cache files could always substitute a different valid
 // schedule); the hash turns silent corruption into a rebuild.
 //
-// Version 1 files (no summary) still decode, via the full ValidateStrict
-// pass as before — the "stale summary version" fallback.
+// Version 3 (sections.go) makes the warm load parallel: the stream is
+// split into independently decodable sections with per-section digests
+// under a root tree hash, so ImportBinary fans decoding out across
+// BinaryImportOptions.Workers goroutines reading through an io.ReaderAt
+// — same trust model, same O(bytes) validation, divided by the worker
+// count.
+//
+// Version 1 and 2 files still decode, via the sequential path — v1
+// through the full ValidateStrict pass, v2 on its summary as before.
 
 import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"multitree/internal/obs"
 	"multitree/internal/topology"
 )
 
 // BinaryIRVersion is the current binary schedule encoding version:
-// version 2 carries the content hash + validation summary. A format
-// change makes old cache keys unreachable (a cache miss) rather than
-// misread; files in the previous version remain decodable, at the cost
-// of full load-time validation.
-const BinaryIRVersion = 2
+// version 3 is the sectioned, parallel-decodable layout of sections.go.
+// A format change makes old cache keys unreachable (a cache miss)
+// rather than misread; files in previous versions remain decodable
+// through their original sequential paths.
+const BinaryIRVersion = 3
 
-// binaryIRVersionV1 is the legacy summary-free encoding, still accepted
-// by the importer.
-const binaryIRVersionV1 = 1
+// binaryIRVersionV1 is the legacy summary-free encoding and
+// binaryIRVersionV2 the single-stream content-hash + summary encoding;
+// both are still accepted by the importer.
+const (
+	binaryIRVersionV1 = 1
+	binaryIRVersionV2 = 2
+)
 
 // binaryMagic brands binary schedule files. Distinct from both JSON
 // ('{') and anything a truncated write leaves behind.
@@ -103,9 +115,15 @@ type BinaryImportOptions struct {
 	// actual file.
 	SizeHint int64
 
-	// Observer, when non-nil, brackets the validation work as the
-	// "validate" planner phase.
+	// Observer, when non-nil, brackets the materialization and validation
+	// work as the "decode" and "validate" planner phases.
 	Observer obs.PlanObserver
+
+	// Workers bounds the goroutines a v3 sectioned load fans decoding
+	// across; <= 1 decodes sequentially. Earlier format versions are
+	// single-stream and ignore it. The decoded schedule is byte-identical
+	// at any worker count.
+	Workers int
 }
 
 // BinaryLoadInfo reports how a binary schedule load was validated.
@@ -167,6 +185,22 @@ func (w *binWriter) str(s string) {
 func (w *binWriter) bytes(p []byte) {
 	w.room(len(p))
 	w.buf = append(w.buf, p...)
+}
+
+// timedWriter accumulates the wall time spent inside the wrapped
+// writer. Wrapping the v2 import's content hasher with it splits the
+// sequential load's cost into decode vs verification, matching the
+// per-section measurement of the v3 path.
+type timedWriter struct {
+	w  io.Writer
+	ns int64
+}
+
+func (t *timedWriter) Write(p []byte) (int, error) {
+	t0 := time.Now()
+	n, err := t.w.Write(p)
+	t.ns += time.Since(t0).Nanoseconds()
+	return n, err
 }
 
 // witnessHash folds a topological order into its sha256 witness.
@@ -269,27 +303,37 @@ func encodeBinaryBody(bw *binWriter, s *Schedule, sum ValidationSummary) {
 	}
 }
 
-// ExportBinary writes the schedule in the binary IR. Like Export, every
-// transfer's link path is pinned, so the loaded schedule reproduces the
-// exact link-level behavior; unlike Export, the topology is recorded
-// only by fingerprint. The schedule is strictly validated here, at store
-// time, and the file carries the ValidationSummary + content hash that
-// let a later load trust the result without repeating the pass.
+// ExportBinary writes the schedule in the current binary IR (the v3
+// sectioned layout of sections.go). Like Export, every transfer's link
+// path is pinned, so the loaded schedule reproduces the exact link-level
+// behavior; unlike Export, the topology is recorded only by fingerprint.
+// The schedule is strictly validated here, at store time, and the file
+// carries the ValidationSummary + content digests that let a later load
+// trust the result without repeating the pass.
 //
-// When w can seek (a file), the body streams through a bounded window
-// with the sha256 computed as it goes, and the header's hash field is
-// patched afterwards — one pass over the bytes, no body-sized buffer.
-// A 631 MB mesh-64x64 entry previously paid for itself twice: once to
-// encode into memory, once to hash. Non-seekable writers keep the
-// buffered two-pass encoding; the emitted bytes are identical.
+// When w can seek (a file), the stream is written in one pass with the
+// root hash patched at the end; non-seekable writers assemble the stream
+// in memory first. The emitted bytes are identical either way.
 func ExportBinary(w io.Writer, s *Schedule) error {
+	order, err := s.validatedOrder(true)
+	if err != nil {
+		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
+	}
+	return exportBinaryV3(w, s, summarize(s, order))
+}
+
+// ExportBinaryV2 writes the schedule in the single-stream version-2
+// encoding: one content hash over one varint stream. Kept so tests and
+// tools can produce files that exercise the sequential compatibility
+// path; new code writes the sectioned current version via ExportBinary.
+func ExportBinaryV2(w io.Writer, s *Schedule) error {
 	order, err := s.validatedOrder(true)
 	if err != nil {
 		return fmt.Errorf("collective: refusing to export invalid schedule: %w", err)
 	}
 	sum := summarize(s, order)
 	if ws, ok := w.(io.WriteSeeker); ok {
-		return exportBinaryStream(ws, s, sum)
+		return exportBinaryStreamV2(ws, s, sum)
 	}
 
 	bw := &binWriter{buf: make([]byte, 0, 64+16*len(s.Transfers))}
@@ -297,7 +341,7 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 
 	var head binWriter
 	head.buf = append(head.buf, binaryMagic[:]...)
-	head.uint(BinaryIRVersion)
+	head.uint(binaryIRVersionV2)
 	contentHash := sha256.Sum256(bw.buf)
 	head.buf = append(head.buf, contentHash[:]...)
 	if _, err := w.Write(head.buf); err != nil {
@@ -307,18 +351,18 @@ func ExportBinary(w io.Writer, s *Schedule) error {
 	return err
 }
 
-// exportBinaryStream is ExportBinary's single-pass path for seekable
+// exportBinaryStreamV2 is ExportBinaryV2's single-pass path for seekable
 // sinks: header with a zero hash placeholder, body streamed through the
 // window into MultiWriter(file, hasher), then a seek back to patch the
 // real digest over the placeholder.
-func exportBinaryStream(w io.WriteSeeker, s *Schedule, sum ValidationSummary) error {
+func exportBinaryStreamV2(w io.WriteSeeker, s *Schedule, sum ValidationSummary) error {
 	start, err := w.Seek(0, io.SeekCurrent)
 	if err != nil {
 		return err
 	}
 	var head binWriter
 	head.buf = append(head.buf, binaryMagic[:]...)
-	head.uint(BinaryIRVersion)
+	head.uint(binaryIRVersionV2)
 	hashOff := int64(len(head.buf))
 	var placeholder [hashSize]byte
 	head.buf = append(head.buf, placeholder[:]...)
@@ -541,7 +585,7 @@ func (r *binStream) str(limit int64) string {
 const maxStringLen = 1 << 16
 
 // ImportBinaryInto reads a binary schedule IR onto an existing topology
-// with default options: a v2 file loads on its trusted validation
+// with default options: a v2/v3 file loads on its trusted validation
 // summary + content hash, a v1 file gets the full ValidateStrict pass.
 func ImportBinaryInto(r io.Reader, topo *topology.Topology) (*Schedule, error) {
 	s, _, err := ImportBinaryIntoOpts(r, topo, BinaryImportOptions{})
@@ -579,10 +623,12 @@ func ImportBinaryIntoOpts(r io.Reader, topo *topology.Topology, opts BinaryImpor
 		info.Validation = "full"
 		info.Transfers = len(s.Transfers)
 		return s, info, nil
-	case BinaryIRVersion:
+	case binaryIRVersionV2:
 		return importBinaryV2(r, topo, opts, info)
+	case BinaryIRVersion:
+		return importBinaryV3(r, topo, opts, info)
 	default:
-		return nil, info, fmt.Errorf("collective: unsupported binary schedule version %d (want %d)", version, BinaryIRVersion)
+		return nil, info, fmt.Errorf("collective: unsupported binary schedule version %d (want <= %d)", version, BinaryIRVersion)
 	}
 }
 
@@ -620,6 +666,26 @@ func checkHeader(s *Schedule, topo *topology.Topology, fingerprint string) error
 // store-time evidence to trust, the load ends in the full ValidateStrict
 // pass, exactly as version 1 always did.
 func importBinaryV1(r io.Reader, topo *topology.Topology, opts BinaryImportOptions) (*Schedule, error) {
+	o := opts.Observer
+	var decodeStart time.Time
+	transfers := 0
+	decodeEnded := false
+	endDecode := func() {
+		if o == nil || decodeEnded {
+			return
+		}
+		decodeEnded = true
+		o.PhaseEnd(obs.PhaseDecode, obs.PlanCounters{
+			Transfers:   int64(transfers),
+			DecodeNanos: time.Since(decodeStart).Nanoseconds(),
+		})
+	}
+	if o != nil {
+		o.PhaseStart(obs.PhaseDecode)
+		decodeStart = time.Now()
+	}
+	defer endDecode()
+
 	st := newBinStream(r)
 	algorithm := st.str(maxStringLen)
 	fingerprint := st.str(maxStringLen)
@@ -689,6 +755,8 @@ func importBinaryV1(r io.Reader, topo *topology.Topology, opts BinaryImportOptio
 	if s.Steps < maxStep {
 		return nil, fmt.Errorf("collective: schedule claims %d steps but has a transfer at step %d", s.Steps, maxStep)
 	}
+	transfers = len(s.Transfers)
+	endDecode()
 	if err := validateFullObserved(s, opts.Observer); err != nil {
 		return nil, err
 	}
@@ -724,7 +792,30 @@ func importBinaryV2(r io.Reader, topo *topology.Topology, opts BinaryImportOptio
 		return nil, info, fmt.Errorf("collective: bad binary schedule: %w", err)
 	}
 	hasher := sha256.New()
-	st := newBinStream(io.TeeReader(r, hasher))
+	// The hasher is timed so the sequential load still reports the
+	// decode/verify CPU split the v3 path measures per section.
+	th := &timedWriter{w: hasher}
+	o := opts.Observer
+	var decodeStart time.Time
+	var sum ValidationSummary
+	decodeEnded := false
+	endDecode := func() {
+		if o == nil || decodeEnded {
+			return
+		}
+		decodeEnded = true
+		d := time.Since(decodeStart).Nanoseconds() - th.ns
+		if d < 0 {
+			d = 0
+		}
+		o.PhaseEnd(obs.PhaseDecode, obs.PlanCounters{Transfers: sum.Transfers, DecodeNanos: d})
+	}
+	if o != nil {
+		o.PhaseStart(obs.PhaseDecode)
+		decodeStart = time.Now()
+	}
+	defer endDecode()
+	st := newBinStream(io.TeeReader(r, th))
 
 	algorithm := st.str(maxStringLen)
 	fingerprint := st.str(maxStringLen)
@@ -739,7 +830,6 @@ func importBinaryV2(r io.Reader, topo *topology.Topology, opts BinaryImportOptio
 			return nil, info, err
 		}
 	}
-	var sum ValidationSummary
 	sum.Transfers = int64(st.uint())
 	sum.DepEdges = int64(st.uint())
 	sum.PathHops = int64(st.uint())
@@ -852,7 +942,7 @@ func importBinaryV2(r io.Reader, topo *topology.Topology, opts BinaryImportOptio
 	// Summary validation: the cheap decode-time cross-checks, then the
 	// content hash that proves the stream is bit-for-bit what store-time
 	// validation accepted.
-	o := opts.Observer
+	endDecode()
 	if o != nil && !opts.VerifyFull {
 		o.PhaseStart(obs.PhaseValidate)
 	}
@@ -878,7 +968,7 @@ func importBinaryV2(r io.Reader, topo *topology.Topology, opts BinaryImportOptio
 		return nil
 	}()
 	if o != nil && !opts.VerifyFull {
-		c := obs.PlanCounters{Transfers: int64(nt)}
+		c := obs.PlanCounters{Transfers: int64(nt), VerifyNanos: th.ns}
 		if err == nil {
 			c.SummaryValidations = 1
 		}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"slices"
+	"unsafe"
 
 	"multitree/internal/topology"
 )
@@ -157,6 +158,25 @@ func (s *Schedule) TotalBytes() int64 {
 		sum += s.Bytes(&s.Transfers[i])
 	}
 	return sum
+}
+
+// MemBytes estimates the resident heap size of the materialized
+// schedule: the transfer array plus the dependency and path arenas. It
+// is the cost function of the decoded-plan memory cache, so it counts
+// what eviction actually frees, not on-wire bytes.
+func (s *Schedule) MemBytes() int64 {
+	size := int64(unsafe.Sizeof(*s))
+	size += int64(len(s.Flows)) * int64(unsafe.Sizeof(Range{}))
+	size += int64(len(s.Transfers)) * int64(unsafe.Sizeof(Transfer{}))
+	var deps, hops int64
+	for i := range s.Transfers {
+		t := &s.Transfers[i]
+		deps += int64(len(t.Deps))
+		hops += int64(len(t.Path))
+	}
+	size += deps * int64(unsafe.Sizeof(TransferID(0)))
+	size += hops * int64(unsafe.Sizeof(topology.LinkID(0)))
+	return size
 }
 
 // PathOf returns the link path of a transfer: the pinned source route if

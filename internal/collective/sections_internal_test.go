@@ -1,0 +1,97 @@
+package collective
+
+// Internal differential tests for the hand-rolled varint decoder in
+// sections.go. The slow path must match encoding/binary.Uvarint
+// bit-for-bit — including the 10th-byte overflow rule — because the
+// encoder writes with binary.PutUvarint and the v3 wire format's
+// tamper rejection depends on every out-of-spec byte sequence being
+// an error, not a silent wrap.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// varintCorpus mixes boundary values with a deterministic LCG sweep so
+// every encoded length (1..10 bytes) and both zigzag signs appear.
+func varintCorpus() []uint64 {
+	vals := []uint64{
+		0, 1, 0x7f, 0x80, 0x3fff, 0x4000, 0x1fffff, 0x200000,
+		math.MaxUint32, math.MaxUint64, math.MaxUint64 - 1,
+		1 << 62, (1 << 63) - 1, 1 << 63,
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 200; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		// Vary the magnitude so short encodings are well represented.
+		vals = append(vals, x>>(x%64))
+	}
+	return vals
+}
+
+func TestSliceDecoderMatchesStdUvarint(t *testing.T) {
+	for _, v := range varintCorpus() {
+		var buf [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(buf[:], v)
+		d := &sliceDecoder{buf: buf[:n]}
+		got := d.uint()
+		if d.err != nil {
+			t.Fatalf("decode(%#x): unexpected error %v", v, d.err)
+		}
+		if got != v || d.pos != n {
+			t.Fatalf("decode(%#x) = %#x, pos %d; want %#x, pos %d", v, got, d.pos, v, n)
+		}
+	}
+}
+
+func TestSliceDecoderSintRoundTrip(t *testing.T) {
+	signed := []int64{0, 1, -1, 63, -64, math.MaxInt64, math.MinInt64, math.MinInt64 + 1}
+	for _, v := range varintCorpus() {
+		signed = append(signed, int64(v), -int64(v))
+	}
+	for _, v := range signed {
+		var w binWriter
+		w.buf = w.buf[:0]
+		w.sint(v)
+		d := &sliceDecoder{buf: w.buf}
+		got := d.sint()
+		if d.err != nil {
+			t.Fatalf("sint(%d): unexpected error %v", v, d.err)
+		}
+		if got != v || !d.done() {
+			t.Fatalf("sint round trip: got %d (done=%v), want %d", got, d.done(), v)
+		}
+	}
+}
+
+func TestSliceDecoderRejectsWhatStdRejects(t *testing.T) {
+	cases := [][]byte{
+		// 10 continuation bytes: longer than any valid encoding.
+		{0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01},
+		// 10th byte > 1 would overflow 64 bits (binary.Uvarint returns n<0).
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02},
+		// Truncated multi-byte varints.
+		{0x80},
+		{0xff, 0xff, 0xff},
+		{},
+	}
+	for i, c := range cases {
+		if v, n := binary.Uvarint(c); n > 0 {
+			t.Fatalf("case %d: corpus error — stdlib accepts %v as %d", i, c, v)
+		}
+		d := &sliceDecoder{buf: c}
+		d.uint()
+		if d.err == nil {
+			t.Fatalf("case %d: decoder accepted invalid varint % x", i, c)
+		}
+	}
+	// The maximum valid encoding (10 bytes, final byte 0x01) must still
+	// decode: it is exactly math.MaxUint64 and the overflow guard must
+	// not fire one value early.
+	max := []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}
+	d := &sliceDecoder{buf: max}
+	if got := d.uint(); d.err != nil || got != math.MaxUint64 {
+		t.Fatalf("max encoding: got %#x, err %v", got, d.err)
+	}
+}

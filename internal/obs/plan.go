@@ -61,6 +61,14 @@ const (
 	// sharded build is serial merge work vs parallel search.
 	PhaseShardMerge
 
+	// PhaseDecode is binary-IR materialization at load time: reading the
+	// cache entry's section bytes and decoding them into the schedule's
+	// arrays, fanned out over Options.Workers for a v3 entry. It nests
+	// inside cache-lookup on warm loads; its DecodeNanos/VerifyNanos
+	// counters split the per-worker CPU between varint decode and digest
+	// verification (the phase wall covers both).
+	PhaseDecode
+
 	// NumPlanPhases bounds the phase ids; new phases append before it so
 	// recorded profiles keep their meaning.
 	NumPlanPhases
@@ -83,6 +91,8 @@ func (p PlanPhase) String() string {
 		return "validate"
 	case PhaseShardMerge:
 		return "shard-merge"
+	case PhaseDecode:
+		return "decode"
 	}
 	return "unknown"
 }
@@ -153,6 +163,19 @@ type PlanCounters struct {
 	// (shard-merge). The replay ratio is the sharding overhead.
 	ShardTurns   int64
 	ShardReplays int64
+
+	// DecodeNanos/VerifyNanos split a binary-IR load's CPU time between
+	// varint materialization and content-digest verification (decode /
+	// validate). Both sum per-worker time, so on a parallel v3 load they
+	// can exceed the phase wall.
+	DecodeNanos int64
+	VerifyNanos int64
+
+	// MemCacheHits/MemCacheMisses count decoded-plan memory-cache probes
+	// (cache-lookup): a hit returns the already-materialized schedule and
+	// skips disk and decode entirely.
+	MemCacheHits   int64
+	MemCacheMisses int64
 }
 
 // Add accumulates other into c.
@@ -176,6 +199,10 @@ func (c *PlanCounters) Add(other PlanCounters) {
 	c.FullValidations += other.FullValidations
 	c.ShardTurns += other.ShardTurns
 	c.ShardReplays += other.ShardReplays
+	c.DecodeNanos += other.DecodeNanos
+	c.VerifyNanos += other.VerifyNanos
+	c.MemCacheHits += other.MemCacheHits
+	c.MemCacheMisses += other.MemCacheMisses
 }
 
 // PlanObserver receives planner lifecycle callbacks. All methods must be
@@ -423,9 +450,24 @@ func (p *PlanProfile) Report() *PlanReport {
 			FullValidations:    ph.Counters.FullValidations,
 			ShardTurns:         ph.Counters.ShardTurns,
 			ShardReplays:       ph.Counters.ShardReplays,
+			ShardCleanCommits:  ph.Counters.ShardTurns - ph.Counters.ShardReplays,
+			ShardReplayShare:   shardReplayShare(ph.Counters),
+			DecodeNanos:        ph.Counters.DecodeNanos,
+			VerifyNanos:        ph.Counters.VerifyNanos,
+			MemCacheHits:       ph.Counters.MemCacheHits,
+			MemCacheMisses:     ph.Counters.MemCacheMisses,
 		})
 	}
 	return rep
+}
+
+// shardReplayShare is the replayed fraction of shard-merge turns — the
+// number the contention-aware-turn-order work tunes against.
+func shardReplayShare(c PlanCounters) float64 {
+	if c.ShardTurns == 0 {
+		return 0
+	}
+	return float64(c.ShardReplays) / float64(c.ShardTurns)
 }
 
 // WriteCSV writes the phase breakdown as CSV: one row per phase that ran,
@@ -433,18 +475,20 @@ func (p *PlanProfile) Report() *PlanReport {
 // is the format of the committed results/plan-profile-*.csv artifacts.
 func (p *PlanProfile) WriteCSV(w io.Writer) error {
 	rep := p.Report()
-	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,dep_edges,path_hops,table_entries,cache_hits,cache_misses,cache_bytes,summary_validations,full_validations,shard_turns,shard_replays"); err != nil {
+	if _, err := fmt.Fprintln(w, "phase,runs,wall_ns,share,steps,trees_grown,nodes_attached,searches,search_misses,links_scanned,link_conflicts,links_allocated,transfers,dep_edges,path_hops,table_entries,cache_hits,cache_misses,cache_bytes,summary_validations,full_validations,shard_turns,shard_replays,decode_ns,verify_ns,mem_cache_hits,mem_cache_misses"); err != nil {
 		return err
 	}
 	for _, ph := range rep.Phases {
-		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%d,%d,%.4f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			ph.Phase, ph.Runs, ph.WallNanos, ph.Share,
 			ph.Steps, ph.TreesGrown, ph.NodesAttached,
 			ph.Searches, ph.SearchMisses, ph.LinksScanned, ph.LinkConflicts,
 			ph.LinksAllocated, ph.Transfers, ph.DepEdges, ph.PathHops, ph.TableEntries,
 			ph.CacheHits, ph.CacheMisses, ph.CacheBytes,
 			ph.SummaryValidations, ph.FullValidations,
-			ph.ShardTurns, ph.ShardReplays); err != nil {
+			ph.ShardTurns, ph.ShardReplays,
+			ph.DecodeNanos, ph.VerifyNanos,
+			ph.MemCacheHits, ph.MemCacheMisses); err != nil {
 			return err
 		}
 	}
@@ -572,7 +616,12 @@ func (p *Progress) detail(ph PlanPhase, c PlanCounters) string {
 	case PhaseNICompile:
 		return fmt.Sprintf(" (%d table entries)", c.TableEntries)
 	case PhaseCacheLookup:
+		if c.MemCacheHits > 0 {
+			return fmt.Sprintf(" (%d memory hits)", c.MemCacheHits)
+		}
 		return fmt.Sprintf(" (%d hits, %d misses, %d bytes)", c.CacheHits, c.CacheMisses, c.CacheBytes)
+	case PhaseDecode:
+		return fmt.Sprintf(" (%d transfers, %s decode cpu)", c.Transfers, time.Duration(c.DecodeNanos).Round(time.Millisecond))
 	case PhaseValidate:
 		mode := "full"
 		if c.SummaryValidations > 0 {

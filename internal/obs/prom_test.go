@@ -95,8 +95,13 @@ func TestPromHandlerSimAndPlan(t *testing.T) {
 	p.PhaseStart(PhaseTreeGrowth)
 	p.PlanProgress(PhaseTreeGrowth, 30, 60)
 	p.PhaseEnd(PhaseTreeGrowth, PlanCounters{Steps: 4, NodesAttached: 30, Searches: 40, SearchMisses: 10, LinksScanned: 200, LinkConflicts: 50, LinksAllocated: 60})
+	p.PhaseStart(PhaseShardMerge)
+	p.PhaseEnd(PhaseShardMerge, PlanCounters{ShardTurns: 10, ShardReplays: 3})
+	p.PhaseStart(PhaseDecode)
+	p.PhaseEnd(PhaseDecode, PlanCounters{DecodeNanos: 2e9, VerifyNanos: 1e9, MemCacheHits: 5, MemCacheMisses: 2})
 	p.Pipeline(1, 3)
 	h.SetPlanProfile(p)
+	h.ObservePlanCache(PlanCacheReport{Hits: 4, MemHits: 5, MemMisses: 2, MemEvictions: 1, MemBytes: 1 << 20, MemEntries: 3})
 
 	var buf strings.Builder
 	if err := h.WriteProm(&buf); err != nil {
@@ -122,6 +127,20 @@ func TestPromHandlerSimAndPlan(t *testing.T) {
 	}
 	if s["multitree_plan_pipeline_done"] != 1 || s["multitree_plan_pipeline_total"] != 3 {
 		t.Fatalf("pipeline gauges: %v", s)
+	}
+	if s["multitree_plan_shard_turns_total"] != 10 || s["multitree_plan_shard_replays_total"] != 3 ||
+		s["multitree_plan_shard_clean_commits_total"] != 7 {
+		t.Fatalf("shard counters: %v", s)
+	}
+	if s["multitree_plan_decode_cpu_seconds_total"] != 2 || s["multitree_plan_verify_cpu_seconds_total"] != 1 {
+		t.Fatalf("decode/verify cpu counters: %v", s)
+	}
+	if s["multitree_plan_mem_cache_hits_total"] != 5 || s["multitree_plan_mem_cache_misses_total"] != 2 {
+		t.Fatalf("mem-cache counters: %v", s)
+	}
+	if s["multitree_plan_cache_hits_total"] != 4 || s["multitree_plan_mem_cache_evictions_total"] != 1 ||
+		s["multitree_plan_mem_cache_bytes"] != 1<<20 || s["multitree_plan_mem_cache_entries"] != 3 {
+		t.Fatalf("mem-cache store gauges: %v", s)
 	}
 }
 

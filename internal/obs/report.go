@@ -13,16 +13,18 @@ import (
 // CI smoke step checks. Additions bump the version; DecodeRunReport
 // keeps accepting the versions whose fields remain a subset of the
 // current struct (v2 added the additive plan_cache section; v3 added the
-// validate phase counters and cache validation-mode counts — so v1 and
-// v2 reports still decode).
-const RunReportSchema = "multitree-runreport/v3"
+// validate phase counters and cache validation-mode counts; v4 added the
+// decode/verify split, the shard-merge replay share, and the decoded-plan
+// memory-cache counters — so v1 through v3 reports still decode).
+const RunReportSchema = "multitree-runreport/v4"
 
-// RunReportSchemaV1 and RunReportSchemaV2 are previous schema
+// RunReportSchemaV1 through RunReportSchemaV3 are previous schema
 // identifiers, still accepted by DecodeRunReport: their fields are strict
 // subsets of the current struct.
 const (
 	RunReportSchemaV1 = "multitree-runreport/v1"
 	RunReportSchemaV2 = "multitree-runreport/v2"
+	RunReportSchemaV3 = "multitree-runreport/v3"
 )
 
 // RunReport is the machine-readable record of one CLI run: environment,
@@ -138,6 +140,23 @@ type PhaseReport struct {
 
 	ShardTurns   int64 `json:"shard_turns,omitempty"`
 	ShardReplays int64 `json:"shard_replays,omitempty"`
+
+	// ShardCleanCommits is ShardTurns - ShardReplays — merge turns whose
+	// speculative result committed without a replay — and
+	// ShardReplayShare the replayed fraction, the contention signal the
+	// ROADMAP's turn-order work tunes against.
+	ShardCleanCommits int64   `json:"shard_clean_commits,omitempty"`
+	ShardReplayShare  float64 `json:"shard_replay_share,omitempty"`
+
+	// DecodeNanos/VerifyNanos split a binary-IR load's summed per-worker
+	// CPU between varint materialization and digest verification.
+	DecodeNanos int64 `json:"decode_ns,omitempty"`
+	VerifyNanos int64 `json:"verify_ns,omitempty"`
+
+	// MemCacheHits/MemCacheMisses count decoded-plan memory-cache probes
+	// during cache-lookup.
+	MemCacheHits   int64 `json:"mem_cache_hits,omitempty"`
+	MemCacheMisses int64 `json:"mem_cache_misses,omitempty"`
 }
 
 // PlanCacheReport records one run's traffic against the content-addressed
@@ -158,6 +177,16 @@ type PlanCacheReport struct {
 	// predating validation summaries).
 	SummaryValidated int64 `json:"summary_validated,omitempty"`
 	FullValidated    int64 `json:"full_validated,omitempty"`
+
+	// MemHits/MemMisses/MemEvictions/MemBytes/MemEntries describe the
+	// in-process decoded-plan LRU (-plan-mem-cache-mb) stacked above the
+	// on-disk cache: a memory hit skips disk and decode entirely, so it
+	// does not count in Hits/BytesRead.
+	MemHits      int64 `json:"mem_hits,omitempty"`
+	MemMisses    int64 `json:"mem_misses,omitempty"`
+	MemEvictions int64 `json:"mem_evictions,omitempty"`
+	MemBytes     int64 `json:"mem_bytes,omitempty"`
+	MemEntries   int64 `json:"mem_entries,omitempty"`
 }
 
 // SimReport aggregates engine-side observability for the run: the event
@@ -255,7 +284,7 @@ func DecodeRunReport(r io.Reader) (*RunReport, error) {
 	if err := dec.Decode(&rep); err != nil {
 		return nil, fmt.Errorf("obs: invalid run report: %w", err)
 	}
-	if rep.Schema != RunReportSchema && rep.Schema != RunReportSchemaV1 && rep.Schema != RunReportSchemaV2 {
+	if rep.Schema != RunReportSchema && rep.Schema != RunReportSchemaV1 && rep.Schema != RunReportSchemaV2 && rep.Schema != RunReportSchemaV3 {
 		return nil, fmt.Errorf("obs: run report schema %q, want %q", rep.Schema, RunReportSchema)
 	}
 	var extra json.RawMessage

@@ -159,9 +159,30 @@ func (c *Cache) Get(key string, topo *topology.Topology) (s *collective.Schedule
 
 // GetObserved is Get with planner-phase observation: the entry's
 // validation work (summary check or full pass) reports to o as the
-// validate phase. The entry streams from disk through a bounded buffer;
-// nothing materializes the whole file.
+// validate phase. Equivalent to GetOpts with only Observer set.
 func (c *Cache) GetObserved(key string, topo *topology.Topology, o obs.PlanObserver) (s *collective.Schedule, bytesRead int64, ok bool) {
+	return c.GetOpts(key, topo, GetOptions{Observer: o})
+}
+
+// GetOptions tunes one cache load. The zero value is a plain
+// single-threaded load.
+type GetOptions struct {
+	// Observer receives the load's planner phases (decode, validate).
+	Observer obs.PlanObserver
+
+	// Workers bounds the decode fan-out for current-version entries,
+	// exactly as collective.BinaryImportOptions.Workers: sections of the
+	// entry decode concurrently on up to Workers goroutines, and the
+	// materialized schedule is byte-identical at any count. <= 1 decodes
+	// sequentially; legacy entry versions ignore it.
+	Workers int
+}
+
+// GetOpts is Get with per-load options. The entry streams from disk
+// through a bounded buffer — or, for current-version entries with
+// Workers > 1, is read section-by-section in parallel; nothing
+// materializes the whole file.
+func (c *Cache) GetOpts(key string, topo *topology.Topology, opts GetOptions) (s *collective.Schedule, bytesRead int64, ok bool) {
 	f, err := os.Open(c.path(key))
 	if err != nil {
 		if !errors.Is(err, fs.ErrNotExist) {
@@ -179,7 +200,8 @@ func (c *Cache) GetObserved(key string, topo *topology.Topology, o obs.PlanObser
 	s, li, err := collective.ImportBinaryIntoOpts(f, topo, collective.BinaryImportOptions{
 		VerifyFull: c.VerifyFull,
 		SizeHint:   size,
-		Observer:   o,
+		Observer:   opts.Observer,
+		Workers:    opts.Workers,
 	})
 	if err != nil {
 		c.logf("plancache: discarding invalid entry %s: %v (rebuilding)", key, err)

@@ -136,6 +136,38 @@ func (c *PlanCache) Stats() PlanCacheStats {
 // summary. Call before handing the cache to a build.
 func (c *PlanCache) SetVerifyFull(v bool) { c.c.VerifyFull = v }
 
+// PlanMemCache is an in-process LRU of decoded plans, the tier above
+// PlanCache: a hit returns the already-materialized schedule and skips
+// the disk read, decode, and verification entirely. Keyed by the same
+// content address as the on-disk cache, so the two tiers compose.
+// Schedules served from it are shared across builds — read-only by
+// contract, which every simulator and exporter in this module honors.
+type PlanMemCache struct {
+	c *plancache.MemCache
+}
+
+// NewPlanMemCache returns a decoded-plan cache holding at most maxBytes
+// of materialized schedules. maxBytes <= 0 disables it (every probe
+// misses), so a handle can be threaded unconditionally.
+func NewPlanMemCache(maxBytes int64) *PlanMemCache {
+	return &PlanMemCache{c: plancache.NewMemCache(maxBytes)}
+}
+
+// PlanMemCacheStats is a snapshot of a decoded-plan cache's counters:
+// traffic since creation plus the current resident size.
+type PlanMemCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Bytes     int64
+	Entries   int64
+}
+
+// Stats returns the cache's traffic and current contents.
+func (c *PlanMemCache) Stats() PlanMemCacheStats {
+	return PlanMemCacheStats(c.c.Stats())
+}
+
 // PlanOptions tunes how BuildScheduleOptions plans: none of its fields
 // change the schedule built, only how fast it is produced and what is
 // recorded along the way. The zero value is exactly BuildSchedule.
@@ -147,6 +179,10 @@ type PlanOptions struct {
 
 	// Cache, when non-nil, is probed before planning and updated after.
 	Cache *PlanCache
+
+	// MemCache, when non-nil, is the decoded-plan tier probed before
+	// Cache; both tiers are updated after a build or disk load.
+	MemCache *PlanMemCache
 
 	// Profile, when non-nil, accumulates phase timings and work counters
 	// (including cache lookups) across builds.
@@ -167,6 +203,9 @@ func BuildScheduleOptions(t *Topology, alg Algorithm, dataBytes int64, opt PlanO
 	}
 	if opt.Cache != nil {
 		aopts.Cache = opt.Cache.c
+	}
+	if opt.MemCache != nil {
+		aopts.MemCache = opt.MemCache.c
 	}
 	s, err := algorithms.Build(t.t, string(alg), elems, aopts)
 	if err != nil {

@@ -8,7 +8,7 @@
 # (plan_ns is the planner's share of the last measured point, so sweep
 # recordings double as planner-throughput history):
 #
-#   scripts/bench.sh                              # -> results/BENCH_pr9.json + .txt
+#   scripts/bench.sh                              # -> results/BENCH_pr10.json + .txt
 #   scripts/bench.sh -out results/BENCH_new.json  # record elsewhere
 #   scripts/bench.sh -benchtime 3x                # extra go-test flags pass through
 #
@@ -28,8 +28,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-BASELINE=results/BENCH_pr9.json
-DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead|BenchmarkFluidSweep_Torus8x8|BenchmarkFluidEngineSteadyState|BenchmarkPlanMesh16x16|BenchmarkPlanCacheWarmLoad|BenchmarkLowerMesh32x32|BenchmarkGrowShardedMesh32x32)$'
+BASELINE=results/BENCH_pr10.json
+DEFAULT_BENCH='^(BenchmarkFig9a_Torus|BenchmarkPacketEngineSteadyState|BenchmarkTraceOverhead|BenchmarkFluidSweep_Torus8x8|BenchmarkFluidEngineSteadyState|BenchmarkPlanMesh16x16|BenchmarkPlanCacheWarmLoad|BenchmarkWarmLoadMesh32x32Parallel|BenchmarkMemCacheHit|BenchmarkLowerMesh32x32|BenchmarkGrowShardedMesh32x32)$'
 NS_FACTOR=${NS_FACTOR:-4}
 
 mode=record

@@ -11,8 +11,10 @@
 # records the cold build+store wall, the warm run's end-to-end wall
 # (load + re-validating re-export), the warm *load* alone (the
 # cache-lookup phase of the warm run's planner profile — the number the
-# "warm hit in seconds" budget is about), the entry's IR size, and a
-# byte-identity check between the two exports.
+# "warm hit in seconds" budget is about), the load's decode vs verify
+# CPU split (summed per-worker, so with several decode workers either
+# can exceed the load wall), the entry's IR size, and a byte-identity
+# check between the two exports.
 # PROFILE_DIR=dir additionally writes the cold build's planner phase
 # profile to dir/plan-profile-<topo>.csv.
 #
@@ -35,7 +37,7 @@ trap 'rm -rf "$cache" "$bin"' EXIT
 
 now() { date +%s.%N; }
 
-echo "topology,nodes,transfers,ir_bytes,cold_wall_s,warm_wall_s,warm_load_s,warm_validation" > "$out"
+echo "topology,nodes,transfers,ir_bytes,cold_wall_s,warm_wall_s,warm_load_s,warm_decode_s,warm_verify_s,warm_validation" > "$out"
 for topo in $topos; do
     nodes=$(echo "$topo" | awk -F'[-x]' '{print $2 * $3}')
     profile=""
@@ -54,7 +56,7 @@ for topo in $topos; do
         -export "$cold" > "$cache/cold.out"
     t1=$(now)
     "$bin" -topo "$topo" -algo multitree -size 1MiB \
-        -plan-cache "$cache" -progress off \
+        -plan-cache "$cache" -plan-workers "$workers" -progress off \
         -planprofile "$cache/warm-profile.csv" \
         -export "$warm" > "$cache/warm.out"
     t2=$(now)
@@ -63,10 +65,18 @@ for topo in $topos; do
     transfers=$(sed -n 's/^schedule .*: \([0-9]*\) transfers.*/\1/p' "$cache/warm.out")
     validation=$(sed -n 's/.*validation=\(.*\)$/\1/p' "$cache/warm.out")
     warm_load=$(awk -F, '$1 == "cache-lookup" { printf "%.2f", $3 / 1e9 }' "$cache/warm-profile.csv")
+    # Header-indexed so the extraction survives future profile columns;
+    # summed across phases (decode_ns lands on the decode row, verify_ns
+    # on the validate row).
+    warm_decode=$(awk -F, 'NR==1 { for (i=1;i<=NF;i++) col[$i]=i; next }
+        { d += $col["decode_ns"] } END { printf "%.2f", d/1e9 }' "$cache/warm-profile.csv")
+    warm_verify=$(awk -F, 'NR==1 { for (i=1;i<=NF;i++) col[$i]=i; next }
+        { v += $col["verify_ns"] } END { printf "%.2f", v/1e9 }' "$cache/warm-profile.csv")
     ir_bytes=$(wc -c < "$cold" | tr -d ' ')
     awk -v t="$topo" -v n="$nodes" -v x="$transfers" -v b="$ir_bytes" \
-        -v c0="$t0" -v c1="$t1" -v w1="$t2" -v wl="$warm_load" -v v="$validation" \
-        'BEGIN { printf "%s,%d,%d,%d,%.2f,%.2f,%.2f,%s\n", t, n, x, b, c1-c0, w1-c1, wl, v }' >> "$out"
+        -v c0="$t0" -v c1="$t1" -v w1="$t2" -v wl="$warm_load" \
+        -v wd="$warm_decode" -v wv="$warm_verify" -v v="$validation" \
+        'BEGIN { printf "%s,%d,%d,%d,%.2f,%.2f,%.2f,%.2f,%.2f,%s\n", t, n, x, b, c1-c0, w1-c1, wl, wd, wv, v }' >> "$out"
     rm -f "$cold" "$warm"
     # Flush the row's dirty pages (cache entry + exports) before the next
     # topology's timer starts: writeback from one row otherwise competes
